@@ -1,0 +1,31 @@
+"""Regenerates Figure 5: expected runtimes at achieved max frequencies.
+
+Run:  pytest benchmarks/bench_fig5.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.eval import figure5
+
+
+def test_figure5(benchmark, kernels, capsys):
+    panels = benchmark(figure5, kernels)
+    with capsys.disabled():
+        print()
+        print("Figure 5: runtimes (cycles/fmax) normalised per issue class")
+        for baseline, panel in panels.items():
+            print(f"  normalised to {baseline}:")
+            for machine, series in panel.items():
+                bars = "  ".join(f"{k}={v:5.2f}" for k, v in series.items())
+                print(f"    {machine:10s} {bars}")
+    # paper shape: every TTA runtime beats its same-issue VLIW baseline
+    for kernel in kernels:
+        assert panels["m-vliw-2"]["m-tta-2"][kernel] < 1.0
+        assert panels["m-vliw-3"]["m-tta-3"][kernel] < 1.0
+    # and the single-issue TTA beats the baseline MicroBlaze on wall
+    # clock (the paper also beats mblaze-5, but most of that margin came
+    # from TCE's LLVM out-optimising MicroBlaze's GCC; our flow shares
+    # one compiler, so we assert the compiler-neutral part of the claim
+    # -- see EXPERIMENTS.md)
+    mtta1 = sum(panels["mblaze-3"]["m-tta-1"].values()) / len(kernels)
+    assert mtta1 < 1.0

@@ -1,0 +1,43 @@
+"""Regenerates Figure 6: slice utilisation vs overall execution time.
+
+Run:  pytest benchmarks/bench_fig6.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.eval import figure6
+
+
+def test_figure6(benchmark, kernels, capsys):
+    points = benchmark(figure6, kernels)
+    with capsys.disabled():
+        print()
+        print("Figure 6: slices vs geomean runtime (normalised to m-tta-1)")
+        for machine, point in sorted(points.items(), key=lambda kv: kv[1]["slices"]):
+            bar = "*" * int(point["runtime"] * 20)
+            print(f"  {machine:10s} slices={point['slices']:6.0f} runtime={point['runtime']:5.2f} {bar}")
+    # paper shape: 1-/2-issue TTAs give the best performance/area corner;
+    # the 2-issue TTA strictly dominates the 2-issue monolithic VLIW.
+    assert points["m-tta-2"]["runtime"] < points["m-vliw-2"]["runtime"]
+    assert points["m-tta-2"]["slices"] < points["m-vliw-2"]["slices"]
+    assert points["m-vliw-3"]["slices"] == max(p["slices"] for p in points.values())
+
+
+def test_perf_per_area_ranking(benchmark, kernels, capsys):
+    """Ablation view of Fig. 6: rank by 1/(runtime x slices)."""
+
+    def ranking():
+        points = figure6(kernels)
+        scored = {
+            name: 1.0 / (p["runtime"] * p["slices"]) for name, p in points.items()
+        }
+        return sorted(scored, key=scored.get, reverse=True)
+
+    order = benchmark(ranking)
+    with capsys.disabled():
+        print("\nperformance/area ranking:", " > ".join(order[:5]), "...")
+    # TTA design points populate the efficiency frontier: at least one in
+    # the top three, and every TTA beats its same-issue VLIW counterpart.
+    assert any("tta" in name for name in order[:3])
+    assert order.index("m-tta-2") < order.index("m-vliw-2")
+    assert order.index("m-tta-3") < order.index("m-vliw-3")

@@ -1,0 +1,21 @@
+"""Regenerates Table II: instruction widths and program image sizes.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, table2
+
+
+def test_table2(benchmark, kernels, capsys):
+    rows = benchmark(table2, kernels)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table II: instruction widths and program image sizes"))
+    # paper shape: monolithic TTA images are larger than the VLIW's but
+    # far less than the raw width ratio suggests
+    by_name = {r["machine"]: r for r in rows}
+    for kernel in kernels:
+        assert by_name["m-tta-2"][kernel] > 1.0
+        assert by_name["m-tta-2"][kernel] < by_name["m-tta-2"]["instr_width_rel"] + 0.35

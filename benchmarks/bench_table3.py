@@ -1,0 +1,20 @@
+"""Regenerates Table III: FPGA resource usage and maximum frequency.
+
+Run:  pytest benchmarks/bench_table3.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, table3
+
+
+def test_table3(benchmark, capsys):
+    rows = benchmark(table3)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table III: FPGA resources and fmax"))
+    by_name = {r["machine"]: r for r in rows}
+    # paper shape: the monolithic VLIW RFs dominate everything
+    assert by_name["m-vliw-3"]["rf_luts"] > 9 * by_name["p-tta-3"]["rf_luts"]
+    assert by_name["m-vliw-2"]["fmax_mhz"] < by_name["m-tta-2"]["fmax_mhz"]
+    assert by_name["m-tta-2"]["core_rel"] < 0.85

@@ -1,0 +1,22 @@
+"""Regenerates Table IV: instruction cycle counts.
+
+Run:  pytest benchmarks/bench_table4.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, table4
+
+
+def test_table4(benchmark, kernels, capsys):
+    rows = benchmark(table4, kernels)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table IV: cycle counts"))
+    by_name = {r["machine"]: r for r in rows}
+    for kernel in kernels:
+        # the TTA programming freedoms must win cycles at equal issue width
+        assert by_name["m-tta-2"][kernel] < 1.0, kernel
+        assert by_name["m-tta-3"][kernel] < 1.0, kernel
+        # the split-RF VLIW stays within a few percent of the monolithic
+        assert by_name["p-vliw-2"][kernel] < 1.25, kernel

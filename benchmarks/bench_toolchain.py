@@ -1,0 +1,29 @@
+"""Toolchain micro-benchmarks: compiler and simulator throughput.
+
+Not a paper artifact, but useful when hacking on the stack: measures
+compile time per design point and simulation speed (cycles/second).
+
+Run:  pytest benchmarks/bench_toolchain.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_machine, compile_for_machine
+from repro.kernels import compile_kernel
+from repro.sim import run_compiled
+
+
+@pytest.mark.parametrize("machine_name", ["mblaze-3", "m-vliw-2", "m-tta-2"])
+def test_compile_throughput(benchmark, machine_name):
+    module = compile_kernel("mips")
+    machine = build_machine(machine_name)
+    benchmark(compile_for_machine, module, machine)
+
+
+@pytest.mark.parametrize("machine_name", ["mblaze-3", "m-vliw-2", "m-tta-2"])
+def test_simulation_throughput(benchmark, machine_name):
+    compiled = compile_for_machine(compile_kernel("mips"), build_machine(machine_name))
+    result = benchmark(run_compiled, compiled)
+    assert result.exit_code == 0

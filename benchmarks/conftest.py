@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+The benchmarks regenerate every table and figure of the paper.  The full
+8-kernel x 13-machine sweep takes tens of minutes in pure Python, so by
+default the benchmarks run on a representative 4-kernel subset; set
+``REPRO_BENCH_FULL=1`` to sweep all eight CHStone-like kernels (this is
+what EXPERIMENTS.md reports).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.kernels import KERNELS
+
+#: fast, algorithm-diverse subset for default benchmark runs
+FAST_KERNELS = ("adpcm", "gsm", "mips", "motion")
+
+
+def bench_kernels() -> tuple[str, ...]:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return KERNELS
+    return FAST_KERNELS
+
+
+@pytest.fixture(scope="session")
+def kernels():
+    return bench_kernels()

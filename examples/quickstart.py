@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one MiniC program for three very different soft
+cores and compare cycle counts, program sizes and estimated silicon.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    build_machine,
+    compile_for_machine,
+    compile_source,
+    encode_machine,
+    run_compiled,
+    synthesize,
+)
+
+SOURCE = """
+/* dot product with a twist: saturating accumulation */
+int a[64];
+int b[64];
+
+int sat_add(int x, int y)
+{
+    int s = x + y;
+    if (x > 0 && y > 0 && s < 0) return 2147483647;
+    if (x < 0 && y < 0 && s >= 0) return -2147483647 - 1;
+    return s;
+}
+
+int main(void)
+{
+    int i;
+    int acc = 0;
+    for (i = 0; i < 64; i++) {
+        a[i] = i * 3 - 50;
+        b[i] = 100 - i;
+    }
+    for (i = 0; i < 64; i++)
+        acc = sat_add(acc, a[i] * b[i]);
+    return acc & 0xFF;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+
+    print(f"{'machine':10s} {'exit':>5s} {'cycles':>8s} {'program':>9s} "
+          f"{'fmax':>7s} {'LUTs':>6s} {'runtime':>9s}")
+    for name in ("mblaze-5", "m-vliw-2", "m-tta-2"):
+        machine = build_machine(name)
+        compiled = compile_for_machine(module, machine)
+        result = run_compiled(compiled)
+        encoding = encode_machine(machine)
+        report = synthesize(machine)
+        bits = compiled.instruction_count * encoding.instruction_width
+        runtime_us = result.cycles / report.fmax_mhz
+        print(
+            f"{name:10s} {result.exit_code:5d} {result.cycles:8d} "
+            f"{bits / 1000:7.1f}kb {report.fmax_mhz:5.0f}MHz "
+            f"{report.resources.core_luts:6d} {runtime_us:7.1f}us"
+        )
+
+    print("\nThe dual-issue TTA should finish in the fewest cycles: its")
+    print("scheduler bypasses FU-to-FU and skips dead register writes,")
+    print("which is the effect the paper quantifies.")
+
+
+if __name__ == "__main__":
+    main()

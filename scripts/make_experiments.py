@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table/figure.
+
+Runs the full 8-kernel x 13-machine sweep (tens of minutes in pure
+Python) and emits the comparison document to stdout:
+
+    python scripts/make_experiments.py > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.eval.paper_data import (
+    BENCHMARKS,
+    PAPER_CYCLES_BASE,
+    PAPER_CYCLES_REL,
+    PAPER_INSTR_WIDTH,
+    PAPER_PROGRAM_SIZE_REL,
+    PAPER_SYNTHESIS,
+)
+from repro.eval.runner import run_sweep
+from repro.eval.tables import ISSUE_GROUPS
+from repro.fpga import synthesize
+from repro.kernels import KERNELS
+from repro.machine import build_machine, encode_machine, preset_names
+
+
+def emit(line: str = "") -> None:
+    print(line)
+
+
+def rel_cycles(sweep, machine: str, baseline: str, kernel: str) -> float:
+    return sweep[(machine, kernel)].cycles / sweep[(baseline, kernel)].cycles
+
+
+def rel_bits(sweep, machine: str, baseline: str, kernel: str) -> float:
+    return sweep[(machine, kernel)].program_bits / sweep[(baseline, kernel)].program_bits
+
+
+def main() -> int:
+    sweep = run_sweep()
+
+    emit("# EXPERIMENTS — paper vs. measured")
+    emit()
+    emit("Regenerate with `python scripts/make_experiments.py > EXPERIMENTS.md`")
+    emit("(or per-artifact via `pytest benchmarks/ --benchmark-only -s` with")
+    emit("`REPRO_BENCH_FULL=1`).  Absolute numbers are not expected to match")
+    emit("(the substrate is a from-scratch simulator and an analytic area")
+    emit("model, not the authors' Vivado/Zynq testbed and CHStone C sources —")
+    emit("see DESIGN.md §3); the comparisons the paper draws are.")
+    emit()
+
+    # ---- Table II -----------------------------------------------------
+    emit("## Table II — instruction widths")
+    emit()
+    emit("| machine | paper (b) | measured (b) |")
+    emit("|---|---|---|")
+    for name in preset_names():
+        width = encode_machine(build_machine(name)).instruction_width
+        emit(f"| {name} | {PAPER_INSTR_WIDTH[name]} | {width} |")
+    emit()
+    emit("## Table II — program image sizes (relative to the class baseline)")
+    emit()
+    header = "| machine | " + " | ".join(BENCHMARKS) + " |"
+    emit(header)
+    emit("|" + "---|" * (len(BENCHMARKS) + 1))
+    for baseline, members in ISSUE_GROUPS:
+        for name in members:
+            if name == baseline:
+                cells = [
+                    f"{sweep[(name, k)].program_bits / 1000:.0f}kb" for k in KERNELS
+                ]
+                emit(f"| **{name}** (abs) | " + " | ".join(cells) + " |")
+                continue
+            cells = []
+            for kernel in KERNELS:
+                ours = rel_bits(sweep, name, baseline, kernel)
+                paper = PAPER_PROGRAM_SIZE_REL.get(name, {}).get(kernel)
+                cells.append(f"{ours:.2f} ({paper:.2f})" if paper else f"{ours:.2f}")
+            emit(f"| {name} ours (paper) | " + " | ".join(cells) + " |")
+    emit()
+
+    # ---- Table III -----------------------------------------------------
+    emit("## Table III — synthesis (fmax MHz / core LUTs / RF LUTs / IC LUTs)")
+    emit()
+    emit("| machine | paper | measured |")
+    emit("|---|---|---|")
+    for name in preset_names():
+        fmax_p, core_p, rf_p, _ram_p, ic_p, _ff_p = PAPER_SYNTHESIS[name]
+        report = synthesize(build_machine(name))
+        res = report.resources
+        ic_p_text = ic_p if ic_p is not None else "—"
+        ic_text = res.ic_luts if res.ic_luts else "—"
+        emit(
+            f"| {name} | {fmax_p} / {core_p} / {rf_p} / {ic_p_text} "
+            f"| {report.fmax_mhz:.0f} / {res.core_luts} / {res.rf_luts} / {ic_text} |"
+        )
+    emit()
+
+    # ---- Table IV -----------------------------------------------------
+    emit("## Table IV — cycle counts (relative; ours (paper))")
+    emit()
+    emit(header)
+    emit("|" + "---|" * (len(BENCHMARKS) + 1))
+    for baseline, members in ISSUE_GROUPS:
+        for name in members:
+            if name == baseline:
+                cells = [str(sweep[(name, k)].cycles) for k in KERNELS]
+                emit(f"| **{name}** (abs) | " + " | ".join(cells) + " |")
+                continue
+            cells = []
+            for kernel in KERNELS:
+                ours = rel_cycles(sweep, name, baseline, kernel)
+                paper = PAPER_CYCLES_REL.get(name, {}).get(kernel)
+                cells.append(f"{ours:.2f} ({paper:.2f})" if paper else f"{ours:.2f}")
+            emit(f"| {name} ours (paper) | " + " | ".join(cells) + " |")
+    emit()
+
+    # ---- Figures -------------------------------------------------------
+    emit("## Figure 5 — runtime (cycles/fmax) relative to the class baseline")
+    emit()
+    emit(header)
+    emit("|" + "---|" * (len(BENCHMARKS) + 1))
+    for baseline, members in ISSUE_GROUPS:
+        base_fmax = synthesize(build_machine(baseline)).fmax_mhz
+        for name in members:
+            fmax = synthesize(build_machine(name)).fmax_mhz
+            cells = []
+            for kernel in KERNELS:
+                rel = rel_cycles(sweep, name, baseline, kernel) * base_fmax / fmax
+                cells.append(f"{rel:.2f}")
+            emit(f"| {name} vs {baseline} | " + " | ".join(cells) + " |")
+    emit()
+
+    emit("## Figure 6 — slices vs geometric-mean runtime (normalised to m-tta-1)")
+    emit()
+
+    def geomean_runtime(machine: str) -> float:
+        fmax = synthesize(build_machine(machine)).fmax_mhz
+        logs = [math.log(sweep[(machine, k)].cycles / fmax) for k in KERNELS]
+        return math.exp(sum(logs) / len(logs))
+
+    reference = geomean_runtime("m-tta-1")
+    emit("| machine | slices (est) | runtime (rel) |")
+    emit("|---|---|---|")
+    for name in preset_names():
+        report = synthesize(build_machine(name))
+        emit(
+            f"| {name} | {report.resources.slices} "
+            f"| {geomean_runtime(name) / reference:.2f} |"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Machine backend: lowering, register allocation and scheduling.
+
+The backend follows the TCE structure the paper relies on: a single code
+generator lowers IR to machine operations, a linear-scan allocator with
+register-file partitioning assigns physical registers, and then one of
+three schedulers produces the executable program:
+
+* :mod:`repro.backend.schedule_tta` -- exposed-datapath move scheduling
+  with software bypassing, dead-result-move elimination and operand
+  sharing (the TTA programming freedoms of Section III);
+* :mod:`repro.backend.schedule_vliw` -- operation-triggered list
+  scheduling into issue slots (the same compiler with the TTA freedoms
+  switched off, as in the paper's methodology);
+* sequential emission for the scalar (MicroBlaze-like) cores.
+"""
+
+from repro.backend.compile import CompiledProgram, compile_for_machine
+from repro.backend.mop import FrameRef, Imm, LabelRef, MBlock, MFunction, MOp, PhysReg
+
+__all__ = [
+    "CompiledProgram",
+    "FrameRef",
+    "Imm",
+    "LabelRef",
+    "MBlock",
+    "MFunction",
+    "MOp",
+    "PhysReg",
+    "compile_for_machine",
+]

@@ -1,0 +1,100 @@
+"""The full compilation driver: IR module -> linked machine program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.abi import STACK_TOP, stack_pointer
+from repro.backend.finalize import finalize_function
+from repro.backend.lower import lower_function
+from repro.backend.mop import Imm, LabelRef, MBlock, MFunction, MOp
+from repro.backend.program import Program, ScheduledBlock, link_blocks
+from repro.backend.regalloc import allocate_registers
+from repro.backend.schedule_tta import schedule_tta_function
+from repro.backend.schedule_vliw import _imm_extra, schedule_vliw_function
+from repro.ir.module import Module
+from repro.machine.machine import Machine, MachineStyle
+
+
+@dataclass
+class CompiledProgram:
+    """A program compiled, scheduled and linked for one design point.
+
+    Attributes:
+        program: the linked instruction stream.
+        machine: the target design point.
+        module: the IR module it was built from.
+        symbols: global-variable address map (for simulator memory init).
+        data_init: (address, bytes) pairs to preload into data memory.
+        mfuncs: the lowered machine functions (for inspection/tests).
+    """
+
+    program: Program
+    machine: Machine
+    module: Module
+    symbols: dict[str, int]
+    data_init: list[tuple[int, bytes]] = field(default_factory=list)
+    mfuncs: dict[str, MFunction] = field(default_factory=dict)
+
+    @property
+    def instruction_count(self) -> int:
+        return self.program.instruction_count
+
+
+def _build_start(machine: Machine, entry: str) -> MFunction:
+    """Synthesise the startup stub: set SP, call the entry, halt."""
+    sp = stack_pointer(machine)
+    block = MBlock("_start:entry")
+    block.ops.append(MOp("copy", sp, [Imm(STACK_TOP)]))
+    block.ops.append(MOp("call", None, [LabelRef(entry)]))
+    block.ops.append(MOp("halt", None, [Imm(0)]))
+    mfunc = MFunction("_start", blocks=[block], has_calls=True)
+    return mfunc
+
+
+def _schedule_scalar(mfunc: MFunction) -> list[ScheduledBlock]:
+    """Scalar cores execute the lowered ops in program order."""
+    return [
+        ScheduledBlock(block.name, len(block.ops), list(block.ops))
+        for block in mfunc.blocks
+    ]
+
+
+def compile_for_machine(module: Module, machine: Machine) -> CompiledProgram:
+    """Compile an (optimised, verified) IR module for *machine*."""
+    module.verify()
+    symbols = module.layout_globals()
+
+    mfuncs: dict[str, MFunction] = {"_start": _build_start(machine, module.entry)}
+    for name, function in module.functions.items():
+        mfunc = lower_function(function, machine, symbols)
+        allocate_registers(mfunc, machine)
+        finalize_function(mfunc, machine)
+        mfuncs[name] = mfunc
+    finalize_function(mfuncs["_start"], machine, synthetic=True)
+
+    blocks: list[ScheduledBlock] = []
+    aliases: dict[str, str] = {}
+    extra_imm_words = 0
+    for name, mfunc in mfuncs.items():
+        if machine.style is MachineStyle.TTA:
+            scheduled = schedule_tta_function(mfunc, machine)
+        elif machine.style is MachineStyle.VLIW:
+            scheduled = schedule_vliw_function(mfunc, machine)
+        else:
+            scheduled = _schedule_scalar(mfunc)
+            extra_imm_words += sum(
+                _imm_extra(machine, op) for block in mfunc.blocks for op in block.ops
+            )
+        aliases[name] = scheduled[0].label
+        blocks.extend(scheduled)
+
+    program = link_blocks(machine, machine.style.value, blocks, aliases)
+    program.extra_imm_words = extra_imm_words
+
+    data_init = [
+        (symbols[gname], gvar.init)
+        for gname, gvar in module.globals.items()
+        if gvar.init
+    ]
+    return CompiledProgram(program, machine, module, symbols, data_init, mfuncs)

@@ -1,0 +1,181 @@
+"""Data-dependence graphs over machine blocks (post-allocation).
+
+Edges carry a *kind* and the information each scheduler needs to turn
+them into timing constraints:
+
+* ``raw``  -- true dependence through a register.  VLIW consumers wait
+  for the write-back (``latency + 1``); the TTA scheduler may instead
+  software-bypass at ``latency`` (Section III-B of the paper).
+* ``war`` / ``waw`` -- anti/output dependences; order-only for the TTA
+  scheduler (write-back placement enforces timing), numeric for VLIW.
+* ``mem``  -- memory ordering (stores are barriers against loads/stores).
+* ``ra``   -- ordering through the control unit's return-address state.
+* ``ctrl`` -- ordering between control transfers (a second in-flight
+  transfer must trigger after the first one's redirect).
+* ``callout`` -- results/effects only valid after a call returns
+  (``jump_latency + 1`` cycles after the call's trigger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.abi import caller_saved, ret_preserved_regs, scratch_regs, stack_pointer
+from repro.backend.mop import MBlock, MOp, PhysReg, op_is_memory
+from repro.isa.operations import OPS
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class Edge:
+    pred: int  # op uid
+    succ: int
+    kind: str
+    #: minimum trigger-to-trigger distance (None = order-only)
+    min_gap: int | None
+    #: for raw edges: the register carrying the value
+    reg: PhysReg | None = None
+
+
+@dataclass
+class DDG:
+    """Dependence graph for one block."""
+
+    block: MBlock
+    edges: list[Edge] = field(default_factory=list)
+    preds: dict[int, list[Edge]] = field(default_factory=dict)
+    succs: dict[int, list[Edge]] = field(default_factory=dict)
+    #: critical-path height per op uid (priority for list scheduling)
+    height: dict[int, int] = field(default_factory=dict)
+
+    def add(self, edge: Edge) -> None:
+        self.edges.append(edge)
+        self.preds.setdefault(edge.succ, []).append(edge)
+        self.succs.setdefault(edge.pred, []).append(edge)
+
+
+def _reads_ra(op: MOp) -> bool:
+    return op.op in ("ret", "getra")
+
+
+def _writes_ra(op: MOp) -> bool:
+    return op.op in ("call", "setra")
+
+
+def build_ddg(block: MBlock, machine: Machine) -> DDG:
+    """Build the dependence graph of *block* for *machine*."""
+    ddg = DDG(block)
+    jl = machine.jump_latency
+    clobber_set = sorted(caller_saved(machine) | set(scratch_regs(machine)), key=str)
+
+    last_def: dict[PhysReg, MOp] = {}
+    reads_since_def: dict[PhysReg, list[MOp]] = {}
+    last_store: MOp | None = None
+    loads_since_store: list[MOp] = []
+    last_ra_write: MOp | None = None
+    ra_reads_since: list[MOp] = []
+    last_ctrl: MOp | None = None
+    seen: set[tuple[int, int, str]] = set()
+
+    def add(pred: MOp, succ: MOp, kind: str, min_gap: int | None, reg: PhysReg | None = None):
+        if pred.uid == succ.uid:
+            return
+        key = (pred.uid, succ.uid, kind)
+        if key in seen:
+            return
+        seen.add(key)
+        ddg.add(Edge(pred.uid, succ.uid, kind, min_gap, reg))
+
+    ret_uses = ret_preserved_regs(machine)
+    for op in block.ops:
+        uses = [r for r in op.reg_srcs() if isinstance(r, PhysReg)]
+        defs = [op.dest] if isinstance(op.dest, PhysReg) else []
+        is_call = op.op == "call"
+        if is_call:
+            defs = defs + [r for r in clobber_set if r not in defs]
+            # The callee addresses its frame (and any incoming stack
+            # arguments) through the caller's stack pointer.
+            sp = stack_pointer(machine)
+            if sp not in uses:
+                uses = uses + [sp]
+        if op.op in ("ret", "halt"):
+            uses = uses + [r for r in ret_uses if r not in uses]
+
+        # RAW: value producers -> this op.
+        for reg in uses:
+            producer = last_def.get(reg)
+            if producer is not None:
+                if producer.op == "call":
+                    add(producer, op, "callout", jl + 1, reg)
+                else:
+                    add(producer, op, "raw", producer.latency + 1, reg)
+            reads_since_def.setdefault(reg, []).append(op)
+
+        # WAR: readers of the previous value -> this def.
+        # WAW: previous def -> this def.
+        for reg in defs:
+            for reader in reads_since_def.get(reg, []):
+                gap = jl + 1 if reader.op == "call" else 1 - op.latency
+                add(reader, op, "war", gap)
+            prev = last_def.get(reg)
+            if prev is not None:
+                gap = prev.latency - op.latency + 1
+                if prev.op == "call":
+                    gap = jl + 1
+                add(prev, op, "waw", gap)
+            last_def[reg] = op
+            reads_since_def[reg] = []
+
+        # Memory ordering.
+        if op_is_memory(op.op) or is_call:
+            writes = is_call or OPS[op.op].writes_mem
+            if writes:
+                if last_store is not None:
+                    gap = jl + 1 if last_store.op == "call" else 1
+                    add(last_store, op, "mem", gap)
+                for load in loads_since_store:
+                    add(load, op, "mem", 1)
+                last_store = op
+                loads_since_store = []
+            else:
+                if last_store is not None:
+                    gap = jl + 1 if last_store.op == "call" else 1
+                    add(last_store, op, "mem", gap)
+                loads_since_store.append(op)
+
+        # Return-address state.
+        if _reads_ra(op) or _writes_ra(op):
+            if _writes_ra(op):
+                for reader in ra_reads_since:
+                    add(reader, op, "ra", 1)
+                if last_ra_write is not None:
+                    gap = jl + 1 if last_ra_write.op == "call" else 1
+                    add(last_ra_write, op, "ra", gap)
+                last_ra_write = op
+                ra_reads_since = []
+            else:
+                if last_ra_write is not None:
+                    gap = jl + 1 if last_ra_write.op == "call" else 1
+                    add(last_ra_write, op, "ra", gap)
+                ra_reads_since.append(op)
+
+        # Control-transfer ordering.
+        if op.is_control:
+            if last_ctrl is not None:
+                add(last_ctrl, op, "ctrl", jl + 1)
+            last_ctrl = op
+
+    _compute_heights(ddg, block)
+    return ddg
+
+
+def _compute_heights(ddg: DDG, block: MBlock) -> None:
+    """Critical-path height: longest latency path to any DDG sink."""
+    heights: dict[int, int] = {}
+    for op in reversed(block.ops):
+        best = op.latency
+        for edge in ddg.succs.get(op.uid, []):
+            gap = edge.min_gap if edge.min_gap is not None else 0
+            best = max(best, gap + heights.get(edge.succ, 0))
+        heights[op.uid] = best
+    ddg.height = heights

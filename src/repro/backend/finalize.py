@@ -1,0 +1,81 @@
+"""Frame layout, prologue/epilogue insertion and frame-ref resolution.
+
+Runs after register allocation, before scheduling.  Frame layout (from
+SP upward): callee-saved register save area, IR frame slots (aligned),
+spill slots; the total is rounded to 8 bytes.  Incoming stack arguments
+(``@inargN`` refs) resolve to offsets above the frame.
+"""
+
+from __future__ import annotations
+
+from repro.backend.abi import caller_saved, scratch_regs, stack_pointer
+from repro.backend.mop import FrameRef, Imm, MFunction, MOp, PhysReg
+from repro.machine.machine import Machine
+
+
+def finalize_function(mfunc: MFunction, machine: Machine, synthetic: bool = False) -> None:
+    """Lay out the frame, insert prologue/epilogue, resolve FrameRefs."""
+    sp = stack_pointer(machine)
+    scratch = scratch_regs(machine)
+    not_saved = caller_saved(machine) | set(scratch) | {sp}
+    saved = sorted(
+        (reg for reg in mfunc.used_regs if reg not in not_saved),
+        key=lambda r: (r.rf, r.idx),
+    )
+    if synthetic:
+        saved = []
+
+    offsets: dict[str, int] = {}
+    offset = 0
+    save_offsets: list[tuple[PhysReg, int]] = []
+    for reg in saved:
+        save_offsets.append((reg, offset))
+        offset += 4
+    for name, (size, align) in mfunc.frame_slots.items():
+        align = max(align, 1)
+        offset = (offset + align - 1) // align * align
+        offsets[name] = offset
+        offset += size
+    frame_size = (offset + 7) // 8 * 8
+    mfunc.frame_size = frame_size
+
+    def resolve(ref: FrameRef) -> Imm:
+        if ref.slot.startswith("@inarg"):
+            index = int(ref.slot[len("@inarg") :])
+            return Imm(frame_size + 4 * index)
+        return Imm(offsets[ref.slot])
+
+    for block in mfunc.blocks:
+        for op in block.ops:
+            op.srcs = [resolve(s) if isinstance(s, FrameRef) else s for s in op.srcs]
+
+    if synthetic:
+        return
+
+    prologue: list[MOp] = []
+    if frame_size:
+        prologue.append(MOp("sub", sp, [sp, Imm(frame_size)]))
+    for reg, off in save_offsets:
+        if off == 0:
+            prologue.append(MOp("stw", None, [sp, reg]))
+        else:
+            prologue.append(MOp("add", scratch[0], [sp, Imm(off)]))
+            prologue.append(MOp("stw", None, [scratch[0], reg]))
+    mfunc.blocks[0].ops[:0] = prologue
+
+    if not (frame_size or save_offsets):
+        return
+    for block in mfunc.blocks:
+        for index, op in enumerate(block.ops):
+            if op.op == "ret":
+                epilogue: list[MOp] = []
+                for reg, off in save_offsets:
+                    if off == 0:
+                        epilogue.append(MOp("ldw", reg, [sp]))
+                    else:
+                        epilogue.append(MOp("add", scratch[0], [sp, Imm(off)]))
+                        epilogue.append(MOp("ldw", reg, [scratch[0]]))
+                if frame_size:
+                    epilogue.append(MOp("add", sp, [sp, Imm(frame_size)]))
+                block.ops[index:index] = epilogue
+                break

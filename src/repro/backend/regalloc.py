@@ -1,0 +1,305 @@
+"""Linear-scan register allocation with register-file partitioning.
+
+Virtual registers get physical registers from a round-robin interleave of
+the machine's register files (so partitioned design points spread port
+pressure).  Values live across calls are restricted to callee-saved
+registers; short-lived values prefer the caller-saved argument registers
+to keep prologues small.  Spills use two reserved scratch registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.abi import allocatable_regs, caller_saved, scratch_regs, stack_pointer
+from repro.backend.mop import FrameRef, Imm, MBlock, MFunction, MOp, PhysReg
+from repro.ir.instructions import VReg
+from repro.machine.machine import Machine
+
+
+class RegAllocError(RuntimeError):
+    """Raised when allocation is impossible (e.g. too few registers)."""
+
+
+# ---------------------------------------------------------------------------
+# Machine-level CFG and liveness
+# ---------------------------------------------------------------------------
+
+
+def block_successors(mfunc: MFunction) -> dict[str, list[str]]:
+    """Successor labels per block (jump targets within the function plus
+    fall-through)."""
+    labels = {block.name for block in mfunc.blocks}
+    succs: dict[str, list[str]] = {}
+    for position, block in enumerate(mfunc.blocks):
+        targets: list[str] = []
+        falls_through = True
+        for op in block.ops:
+            if op.op in ("jump", "cjump", "cjumpz"):
+                target = op.srcs[-1 if op.op == "jump" else 1]
+                # jump target is srcs[0]; cjump target is srcs[1]
+                if op.op == "jump":
+                    target = op.srcs[0]
+                name = target.name  # type: ignore[union-attr]
+                if name in labels:
+                    targets.append(name)
+                if op.op == "jump":
+                    falls_through = False
+            elif op.op in ("ret", "halt"):
+                falls_through = False
+        if falls_through and position + 1 < len(mfunc.blocks):
+            targets.append(mfunc.blocks[position + 1].name)
+        succs[block.name] = targets
+    return succs
+
+
+def _op_uses_defs(
+    op: MOp, clobbers: set[PhysReg], ret_uses: tuple[PhysReg, ...] = ()
+) -> tuple[list, list]:
+    uses = list(op.reg_srcs())
+    defs = [op.dest] if op.dest is not None else []
+    if op.op == "call":
+        defs = defs + [r for r in clobbers if r not in defs]
+    if op.op in ("ret", "halt"):
+        # The function's contract: callee-saved registers, the stack
+        # pointer and the return value must hold their final values when
+        # control leaves -- they are live out of the exit block even
+        # though no instruction in this function reads them again.
+        uses = uses + [r for r in ret_uses if r not in uses]
+    return uses, defs
+
+
+def machine_liveness(
+    mfunc: MFunction,
+    clobbers: set[PhysReg],
+    ret_uses: tuple[PhysReg, ...] = (),
+) -> tuple[dict[str, set], dict[str, set]]:
+    """(live_in, live_out) per machine block, over both vregs and pregs.
+
+    *ret_uses* lists registers considered read by ``ret``/``halt`` (the
+    ABI-preserved set); schedulers must pass it so write-backs that only
+    matter to the caller are not eliminated.
+    """
+    use: dict[str, set] = {}
+    defd: dict[str, set] = {}
+    for block in mfunc.blocks:
+        u: set = set()
+        d: set = set()
+        for op in block.ops:
+            op_uses, op_defs = _op_uses_defs(op, clobbers, ret_uses)
+            u.update(r for r in op_uses if r not in d)
+            d.update(op_defs)
+        use[block.name] = u
+        defd[block.name] = d
+    succs = block_successors(mfunc)
+    live_in = {block.name: set() for block in mfunc.blocks}
+    live_out = {block.name: set() for block in mfunc.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mfunc.blocks):
+            name = block.name
+            out: set = set()
+            for succ in succs[name]:
+                out |= live_in[succ]
+            inn = use[name] | (out - defd[name])
+            if out != live_out[name] or inn != live_in[name]:
+                live_out[name] = out
+                live_in[name] = inn
+                changed = True
+    return live_in, live_out
+
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+    reg: PhysReg | None = None
+    spilled: bool = False
+
+
+def _build_intervals(
+    mfunc: MFunction, clobbers: set[PhysReg]
+) -> tuple[list[Interval], list[int], dict[PhysReg, list[int]]]:
+    live_in, live_out = machine_liveness(mfunc, clobbers)
+    position = 0
+    starts: dict[VReg, int] = {}
+    ends: dict[VReg, int] = {}
+    call_positions: list[int] = []
+    fixed: dict[PhysReg, list[int]] = {}
+
+    def touch(reg, pos: int) -> None:
+        if isinstance(reg, VReg):
+            starts.setdefault(reg, pos)
+            ends[reg] = max(ends.get(reg, pos), pos)
+        else:
+            fixed.setdefault(reg, []).append(pos)
+
+    for block in mfunc.blocks:
+        block_start = position
+        for reg in live_in[block.name]:
+            touch(reg, block_start)
+        for op in block.ops:
+            uses, defs = _op_uses_defs(op, clobbers)
+            for reg in uses:
+                touch(reg, position)
+            for reg in defs:
+                touch(reg, position)
+            if op.op == "call":
+                call_positions.append(position)
+            position += 1
+        block_end = max(position - 1, block_start)
+        for reg in live_out[block.name]:
+            touch(reg, block_end)
+    intervals = [
+        Interval(vreg, starts[vreg], ends.get(vreg, starts[vreg])) for vreg in starts
+    ]
+    for interval in intervals:
+        interval.crosses_call = any(
+            interval.start < p < interval.end for p in call_positions
+        )
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_positions, fixed
+
+
+# ---------------------------------------------------------------------------
+# Linear scan
+# ---------------------------------------------------------------------------
+
+
+def _conflicts_fixed(interval: Interval, reg: PhysReg, fixed: dict[PhysReg, list[int]]) -> bool:
+    positions = fixed.get(reg)
+    if not positions:
+        return False
+    return any(interval.start <= p <= interval.end for p in positions)
+
+
+def allocate_registers(mfunc: MFunction, machine: Machine) -> None:
+    """Allocate physical registers in place; inserts spill code if needed."""
+    csave = caller_saved(machine) | set(scratch_regs(machine))
+    intervals, _calls, fixed = _build_intervals(mfunc, csave)
+    caller_pool = [r for r in allocatable_regs(machine) if r in caller_saved(machine)]
+    callee_pool = [r for r in allocatable_regs(machine) if r not in caller_saved(machine)]
+
+    free_caller = list(caller_pool)
+    free_callee = list(callee_pool)
+    active: list[Interval] = []
+    spilled: list[Interval] = []
+
+    def release(reg: PhysReg) -> None:
+        if reg in caller_saved(machine):
+            free_caller.append(reg)
+        else:
+            free_callee.append(reg)
+
+    for interval in intervals:
+        active = [iv for iv in active if iv.end >= interval.start or release(iv.reg)]
+        # (release returns None, so expired intervals are dropped above)
+        candidates: list[PhysReg] = []
+        if not interval.crosses_call:
+            candidates.extend(free_caller)
+        candidates.extend(free_callee)
+        chosen = next(
+            (reg for reg in candidates if not _conflicts_fixed(interval, reg, fixed)),
+            None,
+        )
+        if chosen is None:
+            # Spill the active interval with the furthest end among those
+            # whose register this interval could legally take.
+            victims = [
+                iv
+                for iv in active
+                if iv.end > interval.end
+                and (not interval.crosses_call or iv.reg not in caller_saved(machine))
+                and not _conflicts_fixed(interval, iv.reg, fixed)
+            ]
+            if victims:
+                victim = max(victims, key=lambda iv: iv.end)
+                interval.reg = victim.reg
+                victim.reg = None
+                victim.spilled = True
+                spilled.append(victim)
+                active.remove(victim)
+                active.append(interval)
+            else:
+                interval.spilled = True
+                spilled.append(interval)
+            continue
+        if chosen in free_caller:
+            free_caller.remove(chosen)
+        else:
+            free_callee.remove(chosen)
+        interval.reg = chosen
+        active.append(interval)
+
+    assignment = {iv.vreg: iv.reg for iv in intervals if iv.reg is not None}
+    spill_set = {iv.vreg for iv in spilled}
+    _rewrite(mfunc, machine, assignment, spill_set)
+    mfunc.used_regs = {
+        op.dest for op in mfunc.all_ops() if isinstance(op.dest, PhysReg)
+    }
+
+
+def _rewrite(
+    mfunc: MFunction,
+    machine: Machine,
+    assignment: dict[VReg, PhysReg],
+    spill_set: set[VReg],
+) -> None:
+    sp = stack_pointer(machine)
+    scratch = scratch_regs(machine)
+    spill_slots: dict[VReg, str] = {}
+
+    def slot_for(vreg: VReg) -> str:
+        if vreg not in spill_slots:
+            name = f"@spill{len(spill_slots)}"
+            spill_slots[vreg] = name
+            mfunc.frame_slots[name] = (4, 4)
+        return spill_slots[vreg]
+
+    for block in mfunc.blocks:
+        new_ops: list[MOp] = []
+        for op in block.ops:
+            pre: list[MOp] = []
+            post: list[MOp] = []
+            scratch_map: dict[VReg, PhysReg] = {}
+            next_scratch = 0
+            new_srcs = []
+            for src in op.srcs:
+                if isinstance(src, VReg):
+                    if src in spill_set:
+                        if src not in scratch_map:
+                            if next_scratch >= len(scratch):
+                                raise RegAllocError("out of spill scratch registers")
+                            reg = scratch[next_scratch]
+                            next_scratch += 1
+                            scratch_map[src] = reg
+                            pre.append(MOp("add", reg, [sp, FrameRef(slot_for(src))]))
+                            pre.append(MOp("ldw", reg, [reg]))
+                        new_srcs.append(scratch_map[src])
+                    else:
+                        new_srcs.append(assignment[src])
+                else:
+                    new_srcs.append(src)
+            op.srcs = new_srcs
+            if isinstance(op.dest, VReg):
+                if op.dest in spill_set:
+                    slot = slot_for(op.dest)
+                    value_reg = scratch[0]
+                    addr_reg = scratch[1]
+                    op.dest = value_reg
+                    post.append(MOp("add", addr_reg, [sp, FrameRef(slot)]))
+                    post.append(MOp("stw", None, [addr_reg, value_reg]))
+                else:
+                    op.dest = assignment[op.dest]
+            new_ops.extend(pre)
+            new_ops.append(op)
+            new_ops.extend(post)
+        block.ops = new_ops

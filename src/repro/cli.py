@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``machines`` -- list the built-in design points with key facts.
+* ``kernels`` -- list the CHStone-like workloads.
+* ``run FILE.mc -m MACHINE`` -- compile a MiniC file and simulate it.
+* ``asm FILE.mc -m MACHINE`` -- print the scheduled assembly listing.
+* ``report [--kernels a,b,..]`` -- regenerate the paper's tables/figures.
+* ``synth MACHINE`` -- print the analytic synthesis report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import (
+    build_machine,
+    compile_for_machine,
+    compile_source,
+    encode_machine,
+    preset_names,
+    run_compiled,
+    synthesize,
+)
+
+
+def _cmd_machines(_args) -> int:
+    print(f"{'name':10s} {'style':7s} {'issue':>5s} {'buses':>5s} {'regs':>5s} "
+          f"{'width':>6s} {'fmax':>7s} {'LUTs':>6s}")
+    for name in preset_names():
+        machine = build_machine(name)
+        encoding = encode_machine(machine)
+        report = synthesize(machine)
+        print(
+            f"{name:10s} {machine.style.value:7s} {machine.issue_width:5d} "
+            f"{len(machine.buses):5d} {machine.total_registers:5d} "
+            f"{encoding.instruction_width:5d}b {report.fmax_mhz:4.0f}MHz "
+            f"{report.resources.core_luts:6d}"
+        )
+    return 0
+
+
+def _cmd_kernels(_args) -> int:
+    from repro.kernels import KERNELS, kernel_source
+
+    for name in KERNELS:
+        first_line = kernel_source(name).strip().splitlines()[1].strip(" *")
+        print(f"{name:10s} {first_line}")
+    return 0
+
+
+def _load_module(path: str):
+    source = Path(path).read_text()
+    return compile_source(source)
+
+
+def _cmd_run(args) -> int:
+    module = _load_module(args.file)
+    machine = build_machine(args.machine)
+    compiled = compile_for_machine(module, machine)
+    result = run_compiled(compiled, check_connectivity=args.verify)
+    encoding = encode_machine(machine)
+    print(f"exit code : {result.exit_code}")
+    print(f"cycles    : {result.cycles}")
+    print(f"image     : {compiled.instruction_count} instructions "
+          f"({compiled.instruction_count * encoding.instruction_width / 1000:.1f} kbit)")
+    if hasattr(result, "bypass_reads"):
+        print(f"transport : {result.moves} moves, {result.triggers} triggers, "
+              f"{result.bypass_reads} bypassed reads, {result.rf_writes} RF writes")
+    report = synthesize(machine)
+    print(f"runtime   : {result.cycles / report.fmax_mhz:.1f} us at {report.fmax_mhz:.0f} MHz")
+    return 0 if result.exit_code == 0 else 1
+
+
+def _cmd_asm(args) -> int:
+    from repro.backend.asmprint import format_program, program_statistics
+
+    module = _load_module(args.file)
+    compiled = compile_for_machine(module, build_machine(args.machine))
+    print(format_program(compiled.program, start=args.start, count=args.count))
+    print()
+    for key, value in program_statistics(compiled.program).items():
+        print(f"; {key} = {value}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.eval import render_all
+    from repro.kernels import KERNELS
+
+    kernels = tuple(args.kernels.split(",")) if args.kernels else KERNELS
+    for kernel in kernels:
+        if kernel not in KERNELS:
+            print(f"unknown kernel {kernel!r}; known: {', '.join(KERNELS)}", file=sys.stderr)
+            return 2
+    print(render_all(kernels))
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    machine = build_machine(args.machine)
+    report = synthesize(machine)
+    res = report.resources
+    print(f"machine      : {machine.name} ({machine.description})")
+    print(f"fmax         : {report.fmax_mhz:.0f} MHz")
+    print(f"core LUTs    : {res.core_luts}")
+    print(f"  RF LUTs    : {res.rf_luts} ({res.lutram} as RAM)")
+    print(f"  IC LUTs    : {res.ic_luts}")
+    print(f"FFs          : {res.ffs}")
+    print(f"DSP blocks   : {res.dsps}")
+    print(f"slices (est) : {res.slices}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Transport-Triggered Soft Cores toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list design points").set_defaults(fn=_cmd_machines)
+    sub.add_parser("kernels", help="list workloads").set_defaults(fn=_cmd_kernels)
+
+    p_run = sub.add_parser("run", help="compile and simulate a MiniC file")
+    p_run.add_argument("file")
+    p_run.add_argument("-m", "--machine", default="m-tta-2", choices=preset_names())
+    p_run.add_argument("--verify", action="store_true", help="verify bus connectivity")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_asm = sub.add_parser("asm", help="print scheduled assembly")
+    p_asm.add_argument("file")
+    p_asm.add_argument("-m", "--machine", default="m-tta-2", choices=preset_names())
+    p_asm.add_argument("--start", type=int, default=0)
+    p_asm.add_argument("--count", type=int, default=None)
+    p_asm.set_defaults(fn=_cmd_asm)
+
+    p_rep = sub.add_parser("report", help="regenerate the paper's tables/figures")
+    p_rep.add_argument("--kernels", default=None, help="comma-separated subset")
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_syn = sub.add_parser("synth", help="analytic synthesis report")
+    p_syn.add_argument("machine", choices=preset_names())
+    p_syn.set_defaults(fn=_cmd_synth)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

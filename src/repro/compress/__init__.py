@@ -1,0 +1,28 @@
+"""Instruction compression (the paper's future-work item).
+
+The paper's conclusion names "FPGA-optimized instruction compression
+methods" as the planned mitigation for the TTA's main drawback, citing
+dictionary-based program compression (Heikkinen/Takala/Corporaal,
+reference [24]).  This package implements that method over the linked
+programs produced by the backend:
+
+* **full-instruction dictionary** -- every distinct instruction word is
+  stored once in an on-chip dictionary; the program stores only
+  ``ceil(log2(|dict|))``-bit indices;
+* **per-slot dictionaries** -- one dictionary per bus/issue slot, which
+  exploits the high per-slot regularity of move code;
+* a decompressor cost model (dictionary bits count against the saving,
+  as they occupy the same on-chip memory).
+
+`benchmarks/bench_compression.py` reproduces the paper's discussion
+point: compression pulls the wide-instruction TTA program images back
+to (or below) VLIW size.
+"""
+
+from repro.compress.dictionary import (
+    CompressionReport,
+    compress_program,
+    per_slot_compression,
+)
+
+__all__ = ["CompressionReport", "compress_program", "per_slot_compression"]

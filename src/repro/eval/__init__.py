@@ -1,0 +1,29 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* Table II -- instruction widths and relative program image sizes
+* Table III -- FPGA resource usage and fmax (relative)
+* Table IV -- cycle counts (relative)
+* Figure 5 -- normalised runtimes (cycles / fmax)
+* Figure 6 -- slice utilisation vs geometric-mean runtime scatter
+
+`repro.eval.runner` does the underlying compile+simulate sweep once and
+caches it; the table/figure functions are pure formatting on top.
+"""
+
+from repro.eval.runner import EvalResult, run_sweep, sweep_cache_clear
+from repro.eval.tables import table2, table3, table4
+from repro.eval.figures import figure5, figure6
+from repro.eval.report import format_table, render_all
+
+__all__ = [
+    "EvalResult",
+    "figure5",
+    "figure6",
+    "format_table",
+    "render_all",
+    "run_sweep",
+    "sweep_cache_clear",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,53 @@
+"""Regeneration of the paper's Figures 5 and 6 (as data series)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.runner import run_sweep
+from repro.eval.tables import ISSUE_GROUPS
+from repro.fpga import synthesize
+from repro.kernels import KERNELS
+from repro.machine import build_machine, preset_names
+
+
+def figure5(kernels: tuple[str, ...] = KERNELS) -> dict[str, dict[str, dict[str, float]]]:
+    """Figure 5: wall-clock runtimes (cycles / fmax) normalised to the
+    group baseline, one bar group per benchmark, one panel per issue
+    class.  Returns {panel_baseline: {machine: {kernel: rel_runtime}}}."""
+    sweep = run_sweep(kernels=kernels)
+    panels: dict[str, dict[str, dict[str, float]]] = {}
+    for baseline, members in ISSUE_GROUPS:
+        panel: dict[str, dict[str, float]] = {}
+        for name in members:
+            series = {}
+            for kernel in kernels:
+                rel = (
+                    sweep[(name, kernel)].runtime_us
+                    / sweep[(baseline, kernel)].runtime_us
+                )
+                series[kernel] = round(rel, 3)
+            panel[name] = series
+        panels[baseline] = panel
+    return panels
+
+
+def figure6(kernels: tuple[str, ...] = KERNELS) -> dict[str, dict[str, float]]:
+    """Figure 6: slice utilisation vs overall execution time (geometric
+    mean over the benchmarks, normalised to m-tta-1).  Returns
+    {machine: {"slices": n, "runtime": geomean_rel}}."""
+    sweep = run_sweep(kernels=kernels)
+
+    def geomean_runtime(machine: str) -> float:
+        logs = [math.log(sweep[(machine, k)].runtime_us) for k in kernels]
+        return math.exp(sum(logs) / len(logs))
+
+    reference = geomean_runtime("m-tta-1")
+    points: dict[str, dict[str, float]] = {}
+    for name in preset_names():
+        report = synthesize(build_machine(name))
+        points[name] = {
+            "slices": float(report.resources.slices),
+            "runtime": round(geomean_runtime(name) / reference, 3),
+        }
+    return points

@@ -1,0 +1,102 @@
+"""The paper's published numbers (Tables II-IV), used for comparison in
+EXPERIMENTS.md and in the shape-checking tests.
+
+All relative values are exactly as printed in the paper; absolute
+program sizes are kilobits.
+"""
+
+from __future__ import annotations
+
+BENCHMARKS = ("adpcm", "aes", "blowfish", "gsm", "jpeg", "mips", "motion", "sha")
+
+#: Table II -- instruction widths (bits).
+PAPER_INSTR_WIDTH = {
+    "mblaze-3": 32,
+    "mblaze-5": 32,
+    "m-tta-1": 43,
+    "m-vliw-2": 48,
+    "p-vliw-2": 48,
+    "m-tta-2": 81,
+    "p-tta-2": 83,
+    "bm-tta-2": 66,
+    "m-vliw-3": 72,
+    "p-vliw-3": 72,
+    "m-tta-3": 145,
+    "p-tta-3": 134,
+    "bm-tta-3": 99,
+}
+
+#: Table II -- program image sizes relative to the baseline of each issue
+#: class (mblaze for 1-issue, m-vliw-2/3 for the multi-issue classes).
+PAPER_PROGRAM_SIZE_REL = {
+    "m-tta-1": {"adpcm": 1.32, "aes": 1.10, "blowfish": 0.54, "gsm": 1.42,
+                "jpeg": 2.48, "mips": 0.89, "motion": 0.83, "sha": 0.32},
+    "p-vliw-2": {"adpcm": 0.98, "aes": 1.01, "blowfish": 0.99, "gsm": 1.01,
+                 "jpeg": 1.00, "mips": 1.01, "motion": 1.10, "sha": 1.03},
+    "m-tta-2": {"adpcm": 1.47, "aes": 1.29, "blowfish": 1.23, "gsm": 1.49,
+                "jpeg": 1.31, "mips": 1.43, "motion": 1.28, "sha": 1.21},
+    "p-tta-2": {"adpcm": 1.44, "aes": 1.37, "blowfish": 1.38, "gsm": 1.48,
+                "jpeg": 1.38, "mips": 1.52, "motion": 1.34, "sha": 1.28},
+    "bm-tta-2": {"adpcm": 1.14, "aes": 1.05, "blowfish": 1.10, "gsm": 1.24,
+                 "jpeg": 1.11, "mips": 1.23, "motion": 1.04, "sha": 1.03},
+    "p-vliw-3": {"adpcm": 1.03, "aes": 1.03, "blowfish": 1.05, "gsm": 1.03,
+                 "jpeg": 1.04, "mips": 1.04, "motion": 1.05, "sha": 1.01},
+    "m-tta-3": {"adpcm": 1.63, "aes": 1.39, "blowfish": 1.32, "gsm": 1.58,
+                "jpeg": 1.45, "mips": 1.67, "motion": 1.21, "sha": 1.08},
+    "p-tta-3": {"adpcm": 1.50, "aes": 1.29, "blowfish": 1.22, "gsm": 1.48,
+                "jpeg": 1.36, "mips": 1.54, "motion": 1.10, "sha": 1.01},
+    "bm-tta-3": {"adpcm": 1.01, "aes": 0.86, "blowfish": 0.85, "gsm": 1.09,
+                 "jpeg": 0.97, "mips": 1.17, "motion": 0.76, "sha": 0.74},
+}
+
+#: Table III -- fmax (MHz) and resource usage.
+PAPER_SYNTHESIS = {
+    # name: (fmax MHz, core LUTs, RF LUTs, LUTRAM, IC LUTs, FFs)
+    "mblaze-3": (169, 715, 128, 128, None, 303),
+    "mblaze-5": (174, 829, 64, 64, None, 582),
+    "m-tta-1": (216, 956, 24, 24, 265, 507),
+    "m-vliw-2": (176, 1806, 638, 352, 439, 680),
+    "p-vliw-2": (203, 1441, 96, 96, 587, 1290),
+    "m-tta-2": (212, 1208, 44, 44, 437, 932),
+    "p-tta-2": (213, 1342, 48, 48, 542, 1290),
+    "bm-tta-2": (212, 1212, 48, 48, 438, 1023),
+    "m-vliw-3": (146, 3825, 1970, 1056, 694, 977),
+    "p-vliw-3": (194, 2710, 144, 144, 632, 923),
+    "m-tta-3": (167, 2399, 210, 176, 599, 895),
+    "p-tta-3": (197, 2651, 72, 72, 619, 908),
+    "bm-tta-3": (189, 2320, 72, 72, 590, 850),
+}
+
+#: Table IV -- absolute cycle counts of the baselines.
+PAPER_CYCLES_BASE = {
+    "mblaze-3": {"adpcm": 283954, "aes": 84892, "blowfish": 2081752, "gsm": 33731,
+                 "jpeg": 4483651, "mips": 72650, "motion": 12670, "sha": 1843148},
+    "m-vliw-2": {"adpcm": 142402, "aes": 39491, "blowfish": 1594847, "gsm": 27279,
+                 "jpeg": 4731551, "mips": 53612, "motion": 17362, "sha": 1172304},
+    "m-vliw-3": {"adpcm": 133718, "aes": 37899, "blowfish": 1552318, "gsm": 26760,
+                 "jpeg": 4638550, "mips": 51661, "motion": 17154, "sha": 1121799},
+}
+
+#: Table IV -- relative cycle counts.
+PAPER_CYCLES_REL = {
+    "mblaze-5": {"adpcm": 0.90, "aes": 0.92, "blowfish": 0.89, "gsm": 0.87,
+                 "jpeg": 0.91, "mips": 0.97, "motion": 0.97, "sha": 0.87},
+    "m-tta-1": {"adpcm": 0.53, "aes": 0.42, "blowfish": 0.66, "gsm": 0.66,
+                "jpeg": 0.98, "mips": 0.73, "motion": 1.05, "sha": 0.56},
+    "p-vliw-2": {"adpcm": 1.01, "aes": 0.99, "blowfish": 0.95, "gsm": 1.00,
+                 "jpeg": 1.01, "mips": 1.00, "motion": 1.05, "sha": 1.01},
+    "m-tta-2": {"adpcm": 0.84, "aes": 0.77, "blowfish": 0.73, "gsm": 0.74,
+                "jpeg": 0.88, "mips": 0.97, "motion": 0.64, "sha": 0.71},
+    "p-tta-2": {"adpcm": 0.81, "aes": 0.68, "blowfish": 0.77, "gsm": 0.69,
+                "jpeg": 0.86, "mips": 1.00, "motion": 0.62, "sha": 0.67},
+    "bm-tta-2": {"adpcm": 0.82, "aes": 0.87, "blowfish": 0.84, "gsm": 0.78,
+                 "jpeg": 0.93, "mips": 1.02, "motion": 0.65, "sha": 0.77},
+    "p-vliw-3": {"adpcm": 1.03, "aes": 1.01, "blowfish": 1.01, "gsm": 1.01,
+                 "jpeg": 1.03, "mips": 1.02, "motion": 1.00, "sha": 1.00},
+    "m-tta-3": {"adpcm": 0.76, "aes": 0.59, "blowfish": 0.53, "gsm": 0.57,
+                "jpeg": 0.77, "mips": 0.96, "motion": 0.38, "sha": 0.45},
+    "p-tta-3": {"adpcm": 0.75, "aes": 0.57, "blowfish": 0.53, "gsm": 0.56,
+                "jpeg": 0.77, "mips": 0.95, "motion": 0.37, "sha": 0.45},
+    "bm-tta-3": {"adpcm": 0.67, "aes": 0.65, "blowfish": 0.59, "gsm": 0.62,
+                 "jpeg": 0.80, "mips": 0.98, "motion": 0.41, "sha": 0.50},
+}

@@ -1,0 +1,52 @@
+"""Plain-text rendering of the regenerated tables and figures."""
+
+from __future__ import annotations
+
+from repro.eval.figures import figure5, figure6
+from repro.eval.tables import table2, table3, table4
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return title
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def render_all(kernels: tuple[str, ...] | None = None) -> str:
+    """Regenerate every table and figure as one report string."""
+    from repro.kernels import KERNELS
+
+    kernels = kernels or KERNELS
+    parts = [
+        format_table(table2(kernels), "Table II: instruction widths and program image sizes"),
+        "",
+        format_table(table3(), "Table III: FPGA resources and fmax"),
+        "",
+        format_table(table4(kernels), "Table IV: cycle counts"),
+        "",
+        "Figure 5: relative runtimes (cycles/fmax, normalised per panel)",
+    ]
+    for baseline, panel in figure5(kernels).items():
+        parts.append(f"  panel normalised to {baseline}:")
+        for machine, series in panel.items():
+            values = "  ".join(f"{k}={v}" for k, v in series.items())
+            parts.append(f"    {machine:10s} {values}")
+    parts.append("")
+    parts.append("Figure 6: slices vs geomean runtime (normalised to m-tta-1)")
+    for machine, point in figure6(kernels).items():
+        parts.append(
+            f"    {machine:10s} slices={point['slices']:7.0f} runtime={point['runtime']}"
+        )
+    return "\n".join(parts)

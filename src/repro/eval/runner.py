@@ -1,0 +1,83 @@
+"""The compile+simulate sweep underlying every table and figure.
+
+``run_sweep`` compiles each kernel for each design point, runs it on the
+cycle-accurate simulator, asserts the kernel's self-check passed, and
+collects program-size/cycle/synthesis facts.  Results are cached
+process-wide so the five table/figure generators and the benchmark
+harness share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.backend import compile_for_machine
+from repro.fpga import synthesize
+from repro.kernels import KERNELS, compile_kernel
+from repro.machine import build_machine, encode_machine, preset_names
+from repro.sim import run_compiled
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One (machine, kernel) measurement."""
+
+    machine: str
+    kernel: str
+    exit_code: int
+    cycles: int
+    instruction_count: int
+    instruction_width: int
+    fmax_mhz: float
+
+    @property
+    def program_bits(self) -> int:
+        return self.instruction_count * self.instruction_width
+
+    @property
+    def runtime_us(self) -> float:
+        return self.cycles / self.fmax_mhz
+
+
+@lru_cache(maxsize=None)
+def _measure(machine_name: str, kernel_name: str) -> EvalResult:
+    machine = build_machine(machine_name)
+    module = compile_kernel(kernel_name)
+    compiled = compile_for_machine(module, machine)
+    result = run_compiled(compiled)
+    if result.exit_code != 0:
+        raise AssertionError(
+            f"kernel {kernel_name} self-check failed on {machine_name}: "
+            f"exit={result.exit_code}"
+        )
+    encoding = encode_machine(machine)
+    report = synthesize(machine)
+    return EvalResult(
+        machine=machine_name,
+        kernel=kernel_name,
+        exit_code=result.exit_code,
+        cycles=result.cycles,
+        instruction_count=compiled.instruction_count,
+        instruction_width=encoding.instruction_width,
+        fmax_mhz=report.fmax_mhz,
+    )
+
+
+def run_sweep(
+    machines: tuple[str, ...] | None = None,
+    kernels: tuple[str, ...] | None = None,
+) -> dict[tuple[str, str], EvalResult]:
+    """Measure every (machine, kernel) pair; cached across calls."""
+    machines = machines or preset_names()
+    kernels = kernels or KERNELS
+    return {
+        (m, k): _measure(m, k)
+        for m in machines
+        for k in kernels
+    }
+
+
+def sweep_cache_clear() -> None:
+    """Drop all cached measurements (tests use this)."""
+    _measure.cache_clear()

@@ -1,0 +1,96 @@
+"""Regeneration of the paper's Tables II, III and IV.
+
+Each function returns a list of row dicts in the paper's layout:
+relative values are normalised exactly the way the paper normalises them
+(1-issue rows against mblaze, multi-issue rows against m-vliw-2/3).
+"""
+
+from __future__ import annotations
+
+from repro.eval.runner import run_sweep
+from repro.fpga import synthesize
+from repro.kernels import KERNELS
+from repro.machine import build_machine, encode_machine
+
+#: the paper's presentation groups and their program-size/cycle baselines
+ISSUE_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("mblaze-3", ("mblaze-3", "mblaze-5", "m-tta-1")),
+    ("m-vliw-2", ("m-vliw-2", "p-vliw-2", "m-tta-2", "p-tta-2", "bm-tta-2")),
+    ("m-vliw-3", ("m-vliw-3", "p-vliw-3", "m-tta-3", "p-tta-3", "bm-tta-3")),
+)
+
+
+def table2(kernels: tuple[str, ...] = KERNELS) -> list[dict]:
+    """Table II: instruction widths and program image sizes.
+
+    Absolute sizes in kilobits for the baselines; relative factors for
+    the other design points, exactly as the paper reports them.
+    """
+    sweep = run_sweep(kernels=kernels)
+    rows: list[dict] = []
+    for baseline, members in ISSUE_GROUPS:
+        base_width = encode_machine(build_machine(baseline)).instruction_width
+        for name in members:
+            width = encode_machine(build_machine(name)).instruction_width
+            row: dict = {
+                "machine": name,
+                "instr_width": width,
+                "instr_width_rel": round(width / base_width, 2),
+            }
+            for kernel in kernels:
+                bits = sweep[(name, kernel)].program_bits
+                base_bits = sweep[(baseline, kernel)].program_bits
+                if name == baseline:
+                    row[kernel] = f"{bits / 1000:.0f}kb"
+                else:
+                    row[kernel] = round(bits / base_bits, 2)
+            rows.append(row)
+    return rows
+
+
+def table3() -> list[dict]:
+    """Table III: RF ports, fmax and resource usage (relative columns
+    normalised to the group baseline, as in the paper)."""
+    rows: list[dict] = []
+    for baseline, members in ISSUE_GROUPS:
+        base = synthesize(build_machine(baseline))
+        for name in members:
+            machine = build_machine(name)
+            report = synthesize(machine)
+            res = report.resources
+            max_reads = max(rf.read_ports for rf in machine.register_files)
+            max_writes = max(rf.write_ports for rf in machine.register_files)
+            rows.append(
+                {
+                    "machine": name,
+                    "rf_read_ports": max_reads,
+                    "rf_write_ports": max_writes,
+                    "fmax_mhz": report.fmax_mhz,
+                    "fmax_rel": round(report.fmax_mhz / base.fmax_mhz, 2),
+                    "core_luts": res.core_luts,
+                    "core_rel": round(res.core_luts / base.resources.core_luts, 2),
+                    "rf_luts": res.rf_luts,
+                    "lutram": res.lutram,
+                    "ic_luts": res.ic_luts,
+                    "ffs": res.ffs,
+                    "dsps": res.dsps,
+                }
+            )
+    return rows
+
+
+def table4(kernels: tuple[str, ...] = KERNELS) -> list[dict]:
+    """Table IV: cycle counts (absolute for baselines, relative else)."""
+    sweep = run_sweep(kernels=kernels)
+    rows: list[dict] = []
+    for baseline, members in ISSUE_GROUPS:
+        for name in members:
+            row: dict = {"machine": name}
+            for kernel in kernels:
+                cycles = sweep[(name, kernel)].cycles
+                if name == baseline:
+                    row[kernel] = cycles
+                else:
+                    row[kernel] = round(cycles / sweep[(baseline, kernel)].cycles, 2)
+            rows.append(row)
+    return rows

@@ -1,0 +1,34 @@
+"""Analytic FPGA resource and timing model (the synthesis substitute).
+
+The paper synthesises RTL with Vivado on a Zynq Z7020 (speed grade -1).
+No synthesis tools exist in this environment, so this package provides a
+component-level analytic model with physically-motivated structure:
+
+* register files follow the LaForest-Steffan distributed-RAM multiport
+  design (bank replication per read port, replication x write ports plus
+  a live-value table for multi-write files) -- reference [28] of the
+  paper, the design the authors used;
+* the interconnect is costed as 6-LUT mux trees over the actual bus
+  connectivity of the machine description (so bus merging and pruning
+  really changes area);
+* function units have fixed costs with the multiplier in DSP blocks;
+* fmax comes from a critical-path model whose terms grow with RF port
+  counts/depth and with interconnect fan-in.
+
+Coefficients were calibrated once against the paper's Table III; see
+EXPERIMENTS.md for the per-design-point paper-vs-model comparison.  The
+MicroBlaze rows are vendor-IP constants taken from the paper (the core
+is a closed black box the authors also only measured).
+"""
+
+from repro.fpga.resources import ResourceReport, estimate_resources
+from repro.fpga.timing import estimate_fmax
+from repro.fpga.report import SynthesisReport, synthesize
+
+__all__ = [
+    "ResourceReport",
+    "SynthesisReport",
+    "estimate_fmax",
+    "estimate_resources",
+    "synthesize",
+]

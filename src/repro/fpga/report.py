@@ -1,0 +1,27 @@
+"""Combined synthesis-style report for one design point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.resources import ResourceReport, estimate_resources
+from repro.fpga.timing import estimate_fmax
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """What `synthesize` returns: resources plus timing for a machine."""
+
+    machine_name: str
+    resources: ResourceReport
+    fmax_mhz: float
+
+    def runtime_seconds(self, cycles: int) -> float:
+        """Wall-clock execution time of *cycles* at the estimated fmax."""
+        return cycles / (self.fmax_mhz * 1e6)
+
+
+def synthesize(machine: Machine) -> SynthesisReport:
+    """Run the analytic 'synthesis' of *machine*."""
+    return SynthesisReport(machine.name, estimate_resources(machine), estimate_fmax(machine))

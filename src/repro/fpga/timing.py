@@ -1,0 +1,61 @@
+"""Critical-path / fmax model.
+
+``delay = base + rf_term + ic_term`` in nanoseconds, where
+
+* the RF term grows with read-port count (output mux depth), write-port
+  count (LVT arbitration on the write path) and depth (bank cascading);
+* the IC term grows with the worst mux fan-in of the transport structure
+  (bus source count plus destination port fan-in).
+
+The MicroBlaze fmax values are the vendor-core measurements from the
+paper's Table III (black-box IP).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fpga.resources import _transport_structure
+from repro.machine.machine import Machine
+
+_BASE_NS = 4.0
+_READ_PORT_NS = 0.15
+_WRITE_PORT_NS = 0.50
+_DEPTH_NS = 0.20
+_IC_FANIN_NS = 0.07
+
+MICROBLAZE_FMAX = {"mblaze-3": 169.0, "mblaze-5": 174.0}
+
+
+def _rf_delay(machine: Machine) -> float:
+    worst = 0.0
+    for rf in machine.register_files:
+        depth_levels = max(0.0, math.log2(rf.size / 32)) if rf.size > 32 else 0.0
+        delay = (
+            _READ_PORT_NS * (rf.read_ports - 1)
+            + _WRITE_PORT_NS * (rf.write_ports - 1)
+            + _DEPTH_NS * depth_levels
+        )
+        worst = max(worst, delay)
+    return worst
+
+
+def _ic_delay(machine: Machine) -> float:
+    buses = _transport_structure(machine)
+    if not buses:
+        return 0.0
+    max_sources = max(len(bus.sources) for bus in buses)
+    ports: dict[str, int] = {}
+    for bus in buses:
+        for dst in bus.destinations:
+            ports[dst] = ports.get(dst, 0) + 1
+    max_fanin = max(ports.values()) if ports else 0
+    return _IC_FANIN_NS * (max_sources + max_fanin)
+
+
+def estimate_fmax(machine: Machine) -> float:
+    """Estimated maximum clock frequency in MHz."""
+    if machine.name in MICROBLAZE_FMAX:
+        return MICROBLAZE_FMAX[machine.name]
+    delay = _BASE_NS + _rf_delay(machine) + _ic_delay(machine)
+    return round(1000.0 / delay, 1)

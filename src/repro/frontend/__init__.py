@@ -1,0 +1,28 @@
+"""MiniC frontend: a C subset sufficient for the CHStone-like kernels.
+
+Supported: 8/16/32-bit signed and unsigned integer types, pointers,
+multi-dimensional arrays, string literals, the full C expression grammar
+over integers (including division/modulo, lowered to runtime-library
+calls), all structured control flow, functions, and initialised globals.
+
+Not supported (and not needed by the workloads): floating point, structs,
+unions, typedefs beyond the built-in types, function pointers, varargs,
+goto, and the preprocessor (kernels use plain constants).
+"""
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.frontend.irgen import compile_source, generate_ir
+
+__all__ = [
+    "CompileError",
+    "Token",
+    "TokenKind",
+    "analyze",
+    "compile_source",
+    "generate_ir",
+    "parse",
+    "tokenize",
+]

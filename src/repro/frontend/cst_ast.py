@@ -1,0 +1,355 @@
+"""MiniC abstract syntax tree and the (tiny) type system.
+
+Types are value objects; AST nodes are mutable dataclasses that semantic
+analysis annotates in place (``ty`` on expressions, ``symbol`` on
+identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntType:
+    """An integer type of 8, 16 or 32 bits."""
+
+    bits: int
+    signed: bool
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    def __repr__(self) -> str:
+        prefix = "" if self.signed else "u"
+        name = {8: "char", 16: "short", 32: "int"}[self.bits]
+        return f"{prefix}{name}"
+
+
+@dataclass(frozen=True)
+class PtrType:
+    """Pointer to *pointee* (4 bytes)."""
+
+    pointee: "CType"
+
+    @property
+    def size(self) -> int:
+        return 4
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+@dataclass(frozen=True)
+class ArrType:
+    """Array of *count* elements of *elem* (count None only in params)."""
+
+    elem: "CType"
+    count: Optional[int]
+
+    @property
+    def size(self) -> int:
+        if self.count is None:
+            raise ValueError("unsized array has no size")
+        return self.elem.size * self.count
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r}[{self.count if self.count is not None else ''}]"
+
+
+@dataclass(frozen=True)
+class VoidType:
+    @property
+    def size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+CType = Union[IntType, PtrType, ArrType, VoidType]
+
+INT = IntType(32, True)
+UINT = IntType(32, False)
+SHORT = IntType(16, True)
+USHORT = IntType(16, False)
+CHAR = IntType(8, True)
+UCHAR = IntType(8, False)
+VOID = VoidType()
+
+
+def is_integer(ty: CType) -> bool:
+    return isinstance(ty, IntType)
+
+
+def is_pointer(ty: CType) -> bool:
+    return isinstance(ty, PtrType)
+
+
+def is_array(ty: CType) -> bool:
+    return isinstance(ty, ArrType)
+
+
+def decay(ty: CType) -> CType:
+    """Array-to-pointer decay for rvalue contexts."""
+    return PtrType(ty.elem) if isinstance(ty, ArrType) else ty
+
+
+def alignment_of(ty: CType) -> int:
+    if isinstance(ty, IntType):
+        return ty.size
+    if isinstance(ty, PtrType):
+        return 4
+    if isinstance(ty, ArrType):
+        return alignment_of(ty.elem)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Symbols (attached by semantic analysis)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Symbol:
+    """A named entity: local, parameter, global or function."""
+
+    name: str
+    kind: str  # 'local' | 'param' | 'global' | 'func'
+    ty: CType
+    #: for locals: 'reg' (plain vreg) or 'frame' (stack slot; arrays or
+    #: address-taken scalars).  Filled in by sema.
+    storage: str = "reg"
+    addr_taken: bool = False
+    #: unique name used for IR frame slots / global symbols
+    ir_name: str = ""
+    #: function symbols: parameter and return types
+    param_types: tuple[CType, ...] = ()
+    ret_type: CType = VOID
+    defined: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    col: int = 0
+    ty: Optional[CType] = None
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    data: bytes = b""
+    #: global symbol generated for the literal (filled by sema)
+    ir_name: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!', '~', '&', '*'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # + - * / % & | ^ << >> < > <= >= == != && ||
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = ""  # '' for plain '=', else the compound operator ('+', ...)
+
+
+@dataclass
+class IncDec(Expr):
+    target: Optional[Expr] = None
+    op: str = "+"
+    prefix: bool = False
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    els: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Initialisers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InitList:
+    """Brace-enclosed initialiser list (possibly nested)."""
+
+    items: list[Union[Expr, "InitList"]] = field(default_factory=list)
+    line: int = 0
+    col: int = 0
+
+
+Initializer = Union[Expr, InitList]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Declarator:
+    name: str
+    ty: CType
+    init: Optional[Initializer]
+    line: int = 0
+    col: int = 0
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # ExprStmt or DeclStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ty: CType
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret_type: CType
+    params: list[Param]
+    body: Optional[Block]  # None for a pure declaration
+    line: int = 0
+    col: int = 0
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class GlobalDecl:
+    decl: Declarator
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    items: list[Union[FuncDef, GlobalDecl]] = field(default_factory=list)

@@ -1,0 +1,14 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A source-level error with location information."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        location = f"{line}:{col}: " if line else ""
+        super().__init__(f"{location}{message}")

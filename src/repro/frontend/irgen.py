@@ -1,0 +1,761 @@
+"""IR generation from the analysed MiniC AST.
+
+Value representation convention: every scalar lives in a 32-bit virtual
+register.  Sub-32-bit typed values are kept *normalised* -- sign-extended
+(signed) or zero-extended (unsigned) to 32 bits -- at all times; loads
+extend, assignments to narrow variables re-normalise, and stores truncate
+naturally.  This matches what the hardware's ``sxqw``/``sxhw`` and the
+typed loads/stores of Table I do.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import cst_ast as ast
+from repro.frontend.cst_ast import (
+    ArrType,
+    CType,
+    IntType,
+    PtrType,
+    VoidType,
+    decay,
+    is_array,
+    is_integer,
+    is_pointer,
+)
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse
+from repro.frontend.runtime import RUNTIME_SOURCE
+from repro.frontend.sema import ProgramInfo, analyze
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Const, Operand, Sym, VReg
+from repro.ir.module import GlobalVar, Module
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _load_op(ty: CType) -> str:
+    if isinstance(ty, (PtrType, ArrType)):
+        return "ldw"
+    assert isinstance(ty, IntType)
+    if ty.bits == 32:
+        return "ldw"
+    if ty.bits == 16:
+        return "ldh" if ty.signed else "ldhu"
+    return "ldq" if ty.signed else "ldqu"
+
+
+def _store_op(ty: CType) -> str:
+    if isinstance(ty, (PtrType, ArrType)):
+        return "stw"
+    assert isinstance(ty, IntType)
+    return {32: "stw", 16: "sth", 8: "stq"}[ty.bits]
+
+
+def _is_unsigned(ty: CType) -> bool:
+    # Pointers compare/shift as unsigned; promoted sub-int types are signed.
+    if isinstance(ty, PtrType):
+        return True
+    return isinstance(ty, IntType) and ty.bits == 32 and not ty.signed
+
+
+class _LoopContext:
+    def __init__(self, break_target: str, continue_target: str) -> None:
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class _IRGen:
+    def __init__(self, info: ProgramInfo, module_name: str) -> None:
+        self.info = info
+        self.module = Module(module_name)
+        self.fn: Function | None = None
+        self.b: IRBuilder | None = None
+        self.loops: list[_LoopContext] = []
+        #: symbol-id -> VReg for register-stored locals/params
+        self.reg_slots: dict[int, VReg] = {}
+        #: symbol-id -> frame slot name for frame-stored locals/params
+        self.frame_names: dict[int, str] = {}
+
+    # ---- driver --------------------------------------------------------------
+
+    def run(self) -> Module:
+        self._emit_globals()
+        for item in self.info.unit.items:
+            if isinstance(item, ast.FuncDef) and item.body is not None:
+                self._function(item)
+        missing = [
+            name for name, sym in self.info.functions.items() if not sym.defined
+        ]
+        if missing:
+            raise CompileError(f"undefined functions: {sorted(missing)}")
+        self.module.verify()
+        return self.module
+
+    # ---- globals ----------------------------------------------------------------
+
+    def _emit_globals(self) -> None:
+        # Register sizes first (symbol addresses may appear in initialisers
+        # and layout is deterministic in insertion order).
+        for name, data in self.info.strings:
+            self.module.add_global(GlobalVar(name, len(data), 1, data))
+        for name, decl in self.info.globals.items():
+            ty = decl.ty
+            size = ty.size
+            self.module.add_global(GlobalVar(name, size, ast.alignment_of(ty)))
+        symbols = self.module.layout_globals()
+        for name, decl in self.info.globals.items():
+            if decl.init is not None:
+                data = bytearray(decl.ty.size)
+                self._const_init_bytes(decl.init, decl.ty, data, 0, symbols, decl)
+                self.module.globals[name].init = bytes(data)
+
+    def _const_init_bytes(
+        self,
+        init,
+        ty: CType,
+        out: bytearray,
+        offset: int,
+        symbols: dict[str, int],
+        decl,
+    ) -> None:
+        if isinstance(init, ast.InitList):
+            if not is_array(ty):
+                raise CompileError("brace initialiser for scalar global", init.line, init.col)
+            elem_size = ty.elem.size
+            for i, item in enumerate(init.items):
+                self._const_init_bytes(item, ty.elem, out, offset + i * elem_size, symbols, decl)
+            return
+        if isinstance(init, ast.StrLit):
+            if is_array(ty) and isinstance(ty.elem, IntType) and ty.elem.bits == 8:
+                data = init.data[: ty.size]
+                out[offset : offset + len(data)] = data
+                return
+            # char* initialised with a string: store its address.
+            value = symbols[init.ir_name]
+            out[offset : offset + 4] = value.to_bytes(4, "little")
+            return
+        value = self._const_value(init, symbols)
+        size = ty.size if isinstance(ty, IntType) else 4
+        out[offset : offset + size] = (value & _MASK32).to_bytes(4, "little")[:size]
+
+    def _const_value(self, expr: ast.Expr, symbols: dict[str, int]) -> int:
+        if isinstance(expr, ast.Num):
+            return expr.value & _MASK32
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                return (-self._const_value(expr.operand, symbols)) & _MASK32
+            if expr.op == "~":
+                return (~self._const_value(expr.operand, symbols)) & _MASK32
+            if expr.op == "&" and isinstance(expr.operand, ast.Ident):
+                return symbols[expr.operand.symbol.ir_name]
+        if isinstance(expr, ast.Ident) and expr.symbol is not None:
+            if expr.symbol.kind == "global" and is_array(expr.symbol.ty):
+                return symbols[expr.symbol.ir_name]
+        if isinstance(expr, ast.Cast):
+            return self._truncate_const(self._const_value(expr.operand, symbols), expr.target_type)
+        if isinstance(expr, ast.SizeOf):
+            ty = expr.target_type if expr.target_type is not None else expr.operand.ty
+            return ty.size
+        if isinstance(expr, ast.Binary):
+            a = self._const_value(expr.left, symbols)
+            b = self._const_value(expr.right, symbols)
+            from repro.isa.semantics import evaluate, to_signed
+
+            table = {
+                "+": "add",
+                "-": "sub",
+                "*": "mul",
+                "&": "and",
+                "|": "ior",
+                "^": "xor",
+                "<<": "shl",
+            }
+            if expr.op in table:
+                return evaluate(table[expr.op], (a, b))
+            if expr.op == ">>":
+                signed = isinstance(expr.left.ty, IntType) and expr.left.ty.signed
+                return evaluate("shr" if signed else "shru", (a, b))
+            if expr.op == "/":
+                if b == 0:
+                    raise CompileError("division by zero in constant", expr.line, expr.col)
+                return (to_signed(a) // to_signed(b)) & _MASK32
+        raise CompileError("initialiser is not a compile-time constant", expr.line, expr.col)
+
+    @staticmethod
+    def _truncate_const(value: int, ty: CType) -> int:
+        if isinstance(ty, IntType) and ty.bits < 32:
+            mask = (1 << ty.bits) - 1
+            value &= mask
+            if ty.signed and value & (1 << (ty.bits - 1)):
+                value |= _MASK32 ^ mask
+        return value & _MASK32
+
+    # ---- functions ------------------------------------------------------------------
+
+    def _function(self, fn_ast: ast.FuncDef) -> None:
+        fn = Function(fn_ast.name, num_params=len(fn_ast.params))
+        self.module.add_function(fn)
+        self.fn = fn
+        self.b = IRBuilder(fn)
+        self.reg_slots.clear()
+        self.frame_names.clear()
+        entry = fn.new_block("entry")
+        self.b.set_block(entry)
+
+        for param_ast, vreg in zip(fn_ast.params, fn.params):
+            symbol = param_ast.symbol  # type: ignore[attr-defined]
+            if symbol.storage == "frame":
+                slot = fn.add_frame_slot(symbol.ir_name, 4, 4)
+                self.frame_names[id(symbol)] = slot
+                addr = self.b.frame_addr(slot)
+                self.b.store("stw", addr, vreg)
+            else:
+                self.reg_slots[id(symbol)] = vreg
+
+        self._stmt(fn_ast.body)
+
+        # Fall off the end: implicit return.
+        if self.b.block is not None and not self.b.block.is_terminated:
+            if isinstance(fn_ast.ret_type, VoidType):
+                self.b.ret(None)
+            else:
+                self.b.ret(Const(0))
+        self.fn = None
+        self.b = None
+
+    # ---- statements -------------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if self.b.block is None or self.b.block.is_terminated:
+            # Unreachable code after return/break: drop it into a fresh,
+            # unreferenced block so the IR stays well-formed, then let
+            # simplify-cfg remove it.
+            self.b.set_block(self.fn.new_block("dead"))
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self._stmt(inner)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._rvalue(stmt.expr)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._local_decl(decl)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise CompileError("break outside loop", stmt.line, stmt.col)
+            self.b.jump(self.loops[-1].break_target)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise CompileError("continue outside loop", stmt.line, stmt.col)
+            self.b.jump(self.loops[-1].continue_target)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.b.ret(None)
+            else:
+                self.b.ret(self._rvalue(stmt.value))
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _local_decl(self, decl: ast.Declarator) -> None:
+        symbol = decl.symbol
+        assert symbol is not None
+        if symbol.storage == "frame":
+            size = symbol.ty.size if not is_array(symbol.ty) or symbol.ty.count else 4
+            slot = self.fn.add_frame_slot(symbol.ir_name, size, ast.alignment_of(symbol.ty))
+            self.frame_names[id(symbol)] = slot
+            if decl.init is not None:
+                if isinstance(decl.init, ast.InitList):
+                    base = self.b.frame_addr(slot)
+                    self._emit_local_init_list(decl.init, symbol.ty, base, 0)
+                elif isinstance(decl.init, ast.StrLit) and is_array(symbol.ty):
+                    base = self.b.frame_addr(slot)
+                    data = decl.init.data[: symbol.ty.size].ljust(symbol.ty.size, b"\0")
+                    for i, byte in enumerate(data):
+                        addr = self.b.binop("add", base, Const(i))
+                        self.b.store("stq", addr, Const(byte))
+                else:
+                    value = self._rvalue(decl.init)
+                    addr = self.b.frame_addr(slot)
+                    self.b.store(_store_op(symbol.ty), addr, value)
+        else:
+            vreg = self.fn.new_vreg()
+            self.reg_slots[id(symbol)] = vreg
+            if decl.init is not None:
+                value = self._rvalue(decl.init)
+                value = self._normalize(value, symbol.ty)
+                self.b.copy(value, dest=vreg)
+
+    def _emit_local_init_list(self, init: ast.InitList, ty: ArrType, base: VReg, offset: int) -> None:
+        elem = ty.elem
+        elem_size = elem.size
+        count = ty.count or len(init.items)
+        for i in range(count):
+            item = init.items[i] if i < len(init.items) else None
+            elem_offset = offset + i * elem_size
+            if isinstance(item, ast.InitList):
+                self._emit_local_init_list(item, elem, base, elem_offset)
+            elif item is None:
+                if is_array(elem):
+                    self._emit_local_init_list(ast.InitList([]), elem, base, elem_offset)
+                else:
+                    addr = self.b.binop("add", base, Const(elem_offset))
+                    self.b.store(_store_op(elem), addr, Const(0))
+            else:
+                value = self._rvalue(item)
+                addr = self.b.binop("add", base, Const(elem_offset))
+                self.b.store(_store_op(elem), addr, value)
+
+    def _if(self, stmt: ast.If) -> None:
+        then_bb = self.fn.new_block("then")
+        end_bb = self.fn.new_block("endif")
+        else_bb = self.fn.new_block("else") if stmt.els is not None else end_bb
+        self._branch(stmt.cond, then_bb.name, else_bb.name)
+        self.b.set_block(then_bb)
+        self._stmt(stmt.then)
+        if not self.b.block.is_terminated:
+            self.b.jump(end_bb)
+        if stmt.els is not None:
+            self.b.set_block(else_bb)
+            self._stmt(stmt.els)
+            if not self.b.block.is_terminated:
+                self.b.jump(end_bb)
+        self.b.set_block(end_bb)
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self.fn.new_block("while.head")
+        body = self.fn.new_block("while.body")
+        end = self.fn.new_block("while.end")
+        self.b.jump(head)
+        self.b.set_block(head)
+        self._branch(stmt.cond, body.name, end.name)
+        self.b.set_block(body)
+        self.loops.append(_LoopContext(end.name, head.name))
+        self._stmt(stmt.body)
+        self.loops.pop()
+        if not self.b.block.is_terminated:
+            self.b.jump(head)
+        self.b.set_block(end)
+
+    def _do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.fn.new_block("do.body")
+        cond = self.fn.new_block("do.cond")
+        end = self.fn.new_block("do.end")
+        self.b.jump(body)
+        self.b.set_block(body)
+        self.loops.append(_LoopContext(end.name, cond.name))
+        self._stmt(stmt.body)
+        self.loops.pop()
+        if not self.b.block.is_terminated:
+            self.b.jump(cond)
+        self.b.set_block(cond)
+        self._branch(stmt.cond, body.name, end.name)
+        self.b.set_block(end)
+
+    def _for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        head = self.fn.new_block("for.head")
+        body = self.fn.new_block("for.body")
+        step = self.fn.new_block("for.step")
+        end = self.fn.new_block("for.end")
+        self.b.jump(head)
+        self.b.set_block(head)
+        if stmt.cond is not None:
+            self._branch(stmt.cond, body.name, end.name)
+        else:
+            self.b.jump(body)
+        self.b.set_block(body)
+        self.loops.append(_LoopContext(end.name, step.name))
+        self._stmt(stmt.body)
+        self.loops.pop()
+        if not self.b.block.is_terminated:
+            self.b.jump(step)
+        self.b.set_block(step)
+        if stmt.step is not None:
+            self._rvalue(stmt.step)
+        self.b.jump(head)
+        self.b.set_block(end)
+
+    # ---- branch generation --------------------------------------------------------------
+
+    def _branch(self, cond: ast.Expr, true_bb: str, false_bb: str) -> None:
+        """Emit a conditional branch, specialising comparisons and &&/||."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._branch(cond.operand, false_bb, true_bb)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            mid = self.fn.new_block("and.rhs")
+            self._branch(cond.left, mid.name, false_bb)
+            self.b.set_block(mid)
+            self._branch(cond.right, true_bb, false_bb)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            mid = self.fn.new_block("or.rhs")
+            self._branch(cond.left, true_bb, mid.name)
+            self.b.set_block(mid)
+            self._branch(cond.right, true_bb, false_bb)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in ("==", "!=", "<", ">", "<=", ">="):
+            value, invert = self._compare(cond)
+            if invert:
+                true_bb, false_bb = false_bb, true_bb
+            self.b.cjump(value, true_bb, false_bb)
+            return
+        value = self._rvalue(cond)
+        self.b.cjump(value, true_bb, false_bb)
+
+    def _compare(self, expr: ast.Binary) -> tuple[VReg, bool]:
+        """Lower a comparison to (vreg, inverted) using eq/gt/gtu only."""
+        a = self._rvalue(expr.left)
+        b_val = self._rvalue(expr.right)
+        unsigned = _is_unsigned(decay(expr.left.ty)) or _is_unsigned(decay(expr.right.ty))
+        gt = "gtu" if unsigned else "gt"
+        op = expr.op
+        if op == "==":
+            return self.b.binop("eq", a, b_val), False
+        if op == "!=":
+            return self.b.binop("eq", a, b_val), True
+        if op == ">":
+            return self.b.binop(gt, a, b_val), False
+        if op == "<":
+            return self.b.binop(gt, b_val, a), False
+        if op == "<=":
+            return self.b.binop(gt, a, b_val), True
+        if op == ">=":
+            return self.b.binop(gt, b_val, a), True
+        raise CompileError(f"not a comparison: {op}", expr.line, expr.col)
+
+    # ---- lvalues / addresses -------------------------------------------------------------
+
+    def _addr_of(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            assert symbol is not None
+            if symbol.kind == "global":
+                return Sym(symbol.ir_name)
+            if symbol.storage == "frame":
+                return self.b.frame_addr(self.frame_names[id(symbol)])
+            raise CompileError(f"cannot take address of register variable {expr.name}", expr.line, expr.col)
+        if isinstance(expr, ast.StrLit):
+            return Sym(expr.ir_name)
+        if isinstance(expr, ast.Index):
+            base = self._rvalue(expr.base)  # arrays decay to their address
+            index = self._rvalue(expr.index)
+            elem_ty = decay(expr.base.ty).pointee
+            scaled = self._scale(index, elem_ty.size)
+            return self.b.binop("add", base, scaled)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._rvalue(expr.operand)
+        raise CompileError("expression has no address", expr.line, expr.col)
+
+    def _scale(self, index: Operand, size: int) -> Operand:
+        if size == 1:
+            return index
+        if isinstance(index, Const):
+            return Const((index.value * size) & _MASK32)
+        if size & (size - 1) == 0:
+            return self.b.binop("shl", index, Const(size.bit_length() - 1))
+        return self.b.binop("mul", index, Const(size))
+
+    # ---- rvalues ------------------------------------------------------------------------
+
+    def _rvalue(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.Num):
+            return Const(expr.value & _MASK32)
+        if isinstance(expr, ast.StrLit):
+            return Sym(expr.ir_name)
+        if isinstance(expr, ast.SizeOf):
+            ty = expr.target_type if expr.target_type is not None else expr.operand.ty
+            return Const(ty.size)
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            assert symbol is not None
+            if is_array(symbol.ty):
+                return self._addr_of(expr)
+            if symbol.kind == "global" or symbol.storage == "frame":
+                addr = self._addr_of(expr)
+                return self.b.load(_load_op(symbol.ty), addr)
+            return self.reg_slots[id(symbol)]
+        if isinstance(expr, ast.Index):
+            elem_ty = decay(expr.base.ty).pointee
+            addr = self._addr_of(expr)
+            if is_array(elem_ty):
+                return addr  # sub-array: the address is the value
+            return self.b.load(_load_op(elem_ty), addr)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._incdec(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._ternary(expr)
+        if isinstance(expr, ast.CallExpr):
+            args = [self._rvalue(a) for a in expr.args]
+            want = not isinstance(expr.symbol.ret_type, VoidType)
+            result = self.b.call(expr.name, args, want_result=want)
+            return result if result is not None else Const(0)
+        if isinstance(expr, ast.Cast):
+            value = self._rvalue(expr.operand)
+            return self._normalize(value, expr.target_type)
+        raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line, expr.col)
+
+    def _normalize(self, value: Operand, ty: CType) -> Operand:
+        """Re-normalise a 32-bit value to a (possibly narrower) type."""
+        if not isinstance(ty, IntType) or ty.bits == 32:
+            return value
+        if isinstance(value, Const):
+            return Const(self._truncate_const(value.value, ty))
+        if ty.signed:
+            return self.b.unop("sxhw" if ty.bits == 16 else "sxqw", value)
+        mask = (1 << ty.bits) - 1
+        return self.b.binop("and", value, Const(mask))
+
+    def _unary(self, expr: ast.Unary) -> Operand:
+        if expr.op == "&":
+            return self._addr_of(expr.operand)
+        if expr.op == "*":
+            pointee = decay(expr.operand.ty).pointee
+            addr = self._rvalue(expr.operand)
+            if is_array(pointee):
+                return addr
+            return self.b.load(_load_op(pointee), addr)
+        value = self._rvalue(expr.operand)
+        if expr.op == "-":
+            if isinstance(value, Const):
+                return Const((-value.value) & _MASK32)
+            return self.b.binop("sub", Const(0), value)
+        if expr.op == "~":
+            return self.b.binop("xor", value, Const(_MASK32))
+        if expr.op == "!":
+            return self.b.binop("eq", value, Const(0))
+        raise CompileError(f"unhandled unary {expr.op!r}", expr.line, expr.col)
+
+    _DIRECT_BINOPS = {
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+        "&": "and",
+        "|": "ior",
+        "^": "xor",
+        "<<": "shl",
+    }
+
+    def _binary(self, expr: ast.Binary) -> Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._logical(expr)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            value, invert = self._compare(expr)
+            if invert:
+                return self.b.binop("xor", value, Const(1))
+            return value
+
+        lt = decay(expr.left.ty)
+        rt = decay(expr.right.ty)
+
+        if op == "+" and (is_pointer(lt) or is_pointer(rt)):
+            if is_pointer(rt):
+                expr_left, expr_right = expr.right, expr.left
+                lt, rt = rt, lt
+            else:
+                expr_left, expr_right = expr.left, expr.right
+            base = self._rvalue(expr_left)
+            index = self._rvalue(expr_right)
+            return self.b.binop("add", base, self._scale(index, lt.pointee.size))
+        if op == "-" and is_pointer(lt) and is_pointer(rt):
+            a = self._rvalue(expr.left)
+            b_val = self._rvalue(expr.right)
+            diff = self.b.binop("sub", a, b_val)
+            size = lt.pointee.size
+            if size == 1:
+                return diff
+            if size & (size - 1) == 0:
+                return self.b.binop("shr", diff, Const(size.bit_length() - 1))
+            return self.b.call("__divs", [diff, Const(size)])
+        if op == "-" and is_pointer(lt):
+            base = self._rvalue(expr.left)
+            index = self._rvalue(expr.right)
+            return self.b.binop("sub", base, self._scale(index, lt.pointee.size))
+
+        a = self._rvalue(expr.left)
+        b_val = self._rvalue(expr.right)
+        unsigned = _is_unsigned(lt) or _is_unsigned(rt)
+        if op in self._DIRECT_BINOPS:
+            return self.b.binop(self._DIRECT_BINOPS[op], a, b_val)
+        if op == ">>":
+            shift = "shru" if _is_unsigned(lt) else "shr"
+            return self.b.binop(shift, a, b_val)
+        if op == "/":
+            return self.b.call("__divu" if unsigned else "__divs", [a, b_val])
+        if op == "%":
+            return self.b.call("__remu" if unsigned else "__rems", [a, b_val])
+        raise CompileError(f"unhandled binary {op!r}", expr.line, expr.col)
+
+    def _logical(self, expr: ast.Binary) -> Operand:
+        """Short-circuit && / || producing a 0/1 value."""
+        result = self.fn.new_vreg()
+        true_bb = self.fn.new_block("log.true")
+        false_bb = self.fn.new_block("log.false")
+        end_bb = self.fn.new_block("log.end")
+        self._branch(expr, true_bb.name, false_bb.name)
+        self.b.set_block(true_bb)
+        self.b.copy(Const(1), dest=result)
+        self.b.jump(end_bb)
+        self.b.set_block(false_bb)
+        self.b.copy(Const(0), dest=result)
+        self.b.jump(end_bb)
+        self.b.set_block(end_bb)
+        return result
+
+    def _ternary(self, expr: ast.Ternary) -> Operand:
+        result = self.fn.new_vreg()
+        then_bb = self.fn.new_block("sel.then")
+        else_bb = self.fn.new_block("sel.else")
+        end_bb = self.fn.new_block("sel.end")
+        self._branch(expr.cond, then_bb.name, else_bb.name)
+        self.b.set_block(then_bb)
+        self.b.copy(self._rvalue(expr.then), dest=result)
+        self.b.jump(end_bb)
+        self.b.set_block(else_bb)
+        self.b.copy(self._rvalue(expr.els), dest=result)
+        self.b.jump(end_bb)
+        self.b.set_block(end_bb)
+        return result
+
+    def _assign(self, expr: ast.Assign) -> Operand:
+        target = expr.target
+        target_ty = target.ty
+        if expr.op:
+            # Compound assignment: evaluate the address once.
+            synthetic = ast.Binary(expr.line, expr.col, None, expr.op, target, expr.value)
+            synthetic.ty = decay(target_ty) if not isinstance(target_ty, IntType) else target_ty
+            if isinstance(target, ast.Ident) and target.symbol.storage == "reg" and target.symbol.kind != "global":
+                value = self._binary_onto(synthetic, self.reg_slots[id(target.symbol)])
+                value = self._normalize(value, target_ty)
+                self.b.copy(value, dest=self.reg_slots[id(target.symbol)])
+                return self.reg_slots[id(target.symbol)]
+            addr = self._addr_of(target)
+            old = self.b.load(_load_op(target_ty), addr)
+            value = self._compound_value(expr, old)
+            value = self._normalize(value, target_ty)
+            self.b.store(_store_op(target_ty), addr, value)
+            return value
+        value = self._rvalue(expr.value)
+        if isinstance(target, ast.Ident) and target.symbol.kind != "global" and target.symbol.storage == "reg":
+            value = self._normalize(value, target_ty)
+            vreg = self.reg_slots[id(target.symbol)]
+            self.b.copy(value, dest=vreg)
+            return vreg
+        addr = self._addr_of(target)
+        self.b.store(_store_op(target_ty), addr, value)
+        return value
+
+    def _binary_onto(self, expr: ast.Binary, current: VReg) -> Operand:
+        """Compound-assign helper for register targets: current op= rhs."""
+        rhs_expr = expr.right
+        lt = decay(expr.left.ty)
+        rt = decay(rhs_expr.ty)
+        op = expr.op
+        if op == "+" and is_pointer(lt):
+            index = self._rvalue(rhs_expr)
+            return self.b.binop("add", current, self._scale(index, lt.pointee.size))
+        if op == "-" and is_pointer(lt) and not is_pointer(rt):
+            index = self._rvalue(rhs_expr)
+            return self.b.binop("sub", current, self._scale(index, lt.pointee.size))
+        b_val = self._rvalue(rhs_expr)
+        unsigned = _is_unsigned(lt) or _is_unsigned(rt)
+        if op in self._DIRECT_BINOPS:
+            return self.b.binop(self._DIRECT_BINOPS[op], current, b_val)
+        if op == ">>":
+            return self.b.binop("shru" if _is_unsigned(lt) else "shr", current, b_val)
+        if op == "/":
+            return self.b.call("__divu" if unsigned else "__divs", [current, b_val])
+        if op == "%":
+            return self.b.call("__remu" if unsigned else "__rems", [current, b_val])
+        raise CompileError(f"unhandled compound op {op!r}", expr.line, expr.col)
+
+    def _compound_value(self, expr: ast.Assign, old: Operand) -> Operand:
+        lt = decay(expr.target.ty)
+        rt = decay(expr.value.ty) if expr.value.ty is not None else lt
+        op = expr.op
+        if op == "+" and is_pointer(lt):
+            index = self._rvalue(expr.value)
+            return self.b.binop("add", old, self._scale(index, lt.pointee.size))
+        b_val = self._rvalue(expr.value)
+        unsigned = _is_unsigned(lt) or _is_unsigned(rt)
+        if op in self._DIRECT_BINOPS:
+            return self.b.binop(self._DIRECT_BINOPS[op], old, b_val)
+        if op == ">>":
+            return self.b.binop("shru" if _is_unsigned(lt) else "shr", old, b_val)
+        if op == "/":
+            return self.b.call("__divu" if unsigned else "__divs", [old, b_val])
+        if op == "%":
+            return self.b.call("__remu" if unsigned else "__rems", [old, b_val])
+        raise CompileError(f"unhandled compound op {op!r}", expr.line, expr.col)
+
+    def _incdec(self, expr: ast.IncDec) -> Operand:
+        target = expr.target
+        ty = target.ty
+        delta = 1
+        if is_pointer(decay(ty)):
+            delta = decay(ty).pointee.size
+        op = "add" if expr.op == "+" else "sub"
+        if isinstance(target, ast.Ident) and target.symbol.kind != "global" and target.symbol.storage == "reg":
+            vreg = self.reg_slots[id(target.symbol)]
+            if expr.prefix:
+                value = self.b.binop(op, vreg, Const(delta))
+                value = self._normalize(value, ty)
+                self.b.copy(value, dest=vreg)
+                return vreg
+            old = self.b.copy(vreg)
+            value = self.b.binop(op, vreg, Const(delta))
+            value = self._normalize(value, ty)
+            self.b.copy(value, dest=vreg)
+            return old
+        addr = self._addr_of(target)
+        old = self.b.load(_load_op(ty), addr)
+        value = self.b.binop(op, old, Const(delta))
+        value = self._normalize(value, ty)
+        self.b.store(_store_op(ty), addr, value)
+        return value if expr.prefix else old
+
+
+def generate_ir(info: ProgramInfo, module_name: str = "module") -> Module:
+    """Generate an IR module from an analysed program."""
+    return _IRGen(info, module_name).run()
+
+
+def compile_source(
+    source: str,
+    module_name: str = "module",
+    with_runtime: bool = True,
+    optimize: bool = True,
+) -> Module:
+    """Compile MiniC source text all the way to an optimised IR module.
+
+    The MiniC runtime library (software division/modulo) is prepended
+    unless *with_runtime* is False.  With *optimize*, the standard pass
+    pipeline (:mod:`repro.ir.passes`) is run, including whole-program
+    unreachable-function pruning.
+    """
+    full = (RUNTIME_SOURCE + "\n" + source) if with_runtime else source
+    unit = parse(full)
+    info = analyze(unit)
+    module = generate_ir(info, module_name)
+    if optimize:
+        from repro.ir.passes import optimize_module
+
+        optimize_module(module)
+    return module

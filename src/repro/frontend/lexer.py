@@ -1,0 +1,257 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.frontend.errors import CompileError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "unsigned",
+        "signed",
+        "char",
+        "short",
+        "long",
+        "void",
+        "const",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "sizeof",
+        "static",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ".",
+)
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    CHAR = "char"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int | bytes | None
+    line: int
+    col: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokenKind.OP and self.text in ops
+
+    def is_kw(self, *kws: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in kws
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.col}"
+
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+    "a": 7,
+    "b": 8,
+    "f": 12,
+    "v": 11,
+}
+
+
+def _read_escape(source: str, i: int, line: int, col: int) -> tuple[int, int]:
+    """Read one escape sequence after the backslash; returns (byte, next_i)."""
+    if i >= len(source):
+        raise CompileError("unterminated escape", line, col)
+    ch = source[i]
+    if ch == "x":
+        j = i + 1
+        start = j
+        while j < len(source) and source[j] in "0123456789abcdefABCDEF":
+            j += 1
+        if j == start:
+            raise CompileError("bad \\x escape", line, col)
+        return int(source[start:j], 16) & 0xFF, j
+    if ch in _ESCAPES:
+        return _ESCAPES[ch], i + 1
+    raise CompileError(f"unknown escape \\{ch}", line, col)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniC source text into a token list ending with EOF."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                advance(1)
+            if i + 1 >= n:
+                raise CompileError("unterminated comment", start_line, start_col)
+            advance(2)
+            continue
+
+        start_line, start_col = line, col
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, None, start_line, start_col))
+            advance(j - i)
+            continue
+
+        if ch.isdigit():
+            j = i
+            if ch == "0" and i + 1 < n and source[i + 1] in "xX":
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            # Swallow C integer suffixes (u, U, l, L combinations).
+            while j < n and source[j] in "uUlL":
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, source[i:j], value, start_line, start_col))
+            advance(j - i)
+            continue
+
+        if ch == "'":
+            j = i + 1
+            if j >= n:
+                raise CompileError("unterminated char literal", start_line, start_col)
+            if source[j] == "\\":
+                value, j = _read_escape(source, j + 1, line, col)
+            else:
+                value = ord(source[j])
+                j += 1
+            if j >= n or source[j] != "'":
+                raise CompileError("unterminated char literal", start_line, start_col)
+            j += 1
+            tokens.append(Token(TokenKind.CHAR, source[i:j], value, start_line, start_col))
+            advance(j - i)
+            continue
+
+        if ch == '"':
+            j = i + 1
+            data = bytearray()
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    byte, j = _read_escape(source, j + 1, line, col)
+                    data.append(byte)
+                elif source[j] == "\n":
+                    raise CompileError("newline in string literal", start_line, start_col)
+                else:
+                    data.append(ord(source[j]))
+                    j += 1
+            if j >= n:
+                raise CompileError("unterminated string literal", start_line, start_col)
+            j += 1
+            tokens.append(
+                Token(TokenKind.STRING, source[i:j], bytes(data), start_line, start_col)
+            )
+            advance(j - i)
+            continue
+
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, None, start_line, start_col))
+                advance(len(op))
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", start_line, start_col)
+
+    tokens.append(Token(TokenKind.EOF, "", None, line, col))
+    return tokens

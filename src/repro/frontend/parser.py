@@ -1,0 +1,527 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.frontend.cst_ast import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    CallExpr,
+    Cast,
+    CHAR,
+    Continue,
+    CType,
+    Declarator,
+    DeclStmt,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IncDec,
+    Index,
+    InitList,
+    Initializer,
+    INT,
+    IntType,
+    Num,
+    Param,
+    PtrType,
+    Return,
+    SHORT,
+    SizeOf,
+    Stmt,
+    StrLit,
+    Ternary,
+    TranslationUnit,
+    UCHAR,
+    UINT,
+    Unary,
+    USHORT,
+    VOID,
+    While,
+)
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+_TYPE_KEYWORDS = frozenset({"int", "unsigned", "signed", "char", "short", "long", "void", "const", "static"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ---- token helpers -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.cur
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> Token:
+        if not self.cur.is_op(op):
+            raise CompileError(f"expected {op!r}, found {self.cur.text!r}", self.cur.line, self.cur.col)
+        return self.advance()
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.cur.is_op(*ops):
+            return self.advance()
+        return None
+
+    def expect_ident(self) -> Token:
+        if self.cur.kind is not TokenKind.IDENT:
+            raise CompileError(f"expected identifier, found {self.cur.text!r}", self.cur.line, self.cur.col)
+        return self.advance()
+
+    def at_type(self) -> bool:
+        return self.cur.kind is TokenKind.KEYWORD and self.cur.text in _TYPE_KEYWORDS
+
+    # ---- types ---------------------------------------------------------------
+
+    def parse_base_type(self) -> CType:
+        """Parse declaration specifiers into a base type."""
+        signedness: bool | None = None
+        core: str | None = None
+        saw_any = False
+        while self.cur.kind is TokenKind.KEYWORD and self.cur.text in _TYPE_KEYWORDS:
+            text = self.advance().text
+            saw_any = True
+            if text in ("const", "static"):
+                continue
+            if text == "unsigned":
+                signedness = False
+            elif text == "signed":
+                signedness = True
+            elif text == "long":
+                core = core or "int"  # long == int in MiniC (32-bit)
+            elif core is None:
+                core = text
+            else:
+                raise CompileError(f"duplicate type keyword {text!r}", self.cur.line, self.cur.col)
+        if not saw_any:
+            raise CompileError(f"expected type, found {self.cur.text!r}", self.cur.line, self.cur.col)
+        if core == "void":
+            return VOID
+        table = {
+            ("int", True): INT,
+            ("int", False): UINT,
+            ("char", True): CHAR,
+            ("char", False): UCHAR,
+            ("short", True): SHORT,
+            ("short", False): USHORT,
+        }
+        return table[(core or "int", signedness if signedness is not None else True)]
+
+    def parse_pointers(self, ty: CType) -> CType:
+        while self.accept_op("*"):
+            while self.cur.is_kw("const"):
+                self.advance()
+            ty = PtrType(ty)
+        return ty
+
+    def parse_array_suffix(self, ty: CType) -> CType:
+        """Parse ``[N][M]...`` suffixes; sizes are constant-folded by sema."""
+        dims: list[int | None] = []
+        while self.accept_op("["):
+            if self.cur.is_op("]"):
+                dims.append(None)
+            else:
+                size_expr = self.parse_expr()
+                dims.append(_const_dim(size_expr))
+            self.expect_op("]")
+        for dim in reversed(dims):
+            from repro.frontend.cst_ast import ArrType
+
+            ty = ArrType(ty, dim)
+        return ty
+
+    # ---- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> Expr:
+        left = self.parse_ternary()
+        tok = self.cur
+        if tok.is_op("="):
+            self.advance()
+            value = self.parse_assignment()
+            return Assign(tok.line, tok.col, None, left, value, "")
+        for compound in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="):
+            if tok.is_op(compound):
+                self.advance()
+                value = self.parse_assignment()
+                return Assign(tok.line, tok.col, None, left, value, compound[:-1])
+        return left
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_logical_or()
+        if self.cur.is_op("?"):
+            tok = self.advance()
+            then = self.parse_expr()
+            self.expect_op(":")
+            els = self.parse_assignment()
+            return Ternary(tok.line, tok.col, None, cond, then, els)
+        return cond
+
+    def _binary_chain(self, ops: tuple[str, ...], next_level) -> Expr:
+        left = next_level()
+        while self.cur.is_op(*ops):
+            tok = self.advance()
+            right = next_level()
+            left = Binary(tok.line, tok.col, None, tok.text, left, right)
+        return left
+
+    def parse_logical_or(self) -> Expr:
+        return self._binary_chain(("||",), self.parse_logical_and)
+
+    def parse_logical_and(self) -> Expr:
+        return self._binary_chain(("&&",), self.parse_bit_or)
+
+    def parse_bit_or(self) -> Expr:
+        return self._binary_chain(("|",), self.parse_bit_xor)
+
+    def parse_bit_xor(self) -> Expr:
+        return self._binary_chain(("^",), self.parse_bit_and)
+
+    def parse_bit_and(self) -> Expr:
+        return self._binary_chain(("&",), self.parse_equality)
+
+    def parse_equality(self) -> Expr:
+        return self._binary_chain(("==", "!="), self.parse_relational)
+
+    def parse_relational(self) -> Expr:
+        return self._binary_chain(("<", ">", "<=", ">="), self.parse_shift)
+
+    def parse_shift(self) -> Expr:
+        return self._binary_chain(("<<", ">>"), self.parse_additive)
+
+    def parse_additive(self) -> Expr:
+        return self._binary_chain(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> Expr:
+        return self._binary_chain(("*", "/", "%"), self.parse_unary)
+
+    def _at_cast(self) -> bool:
+        if not self.cur.is_op("("):
+            return False
+        nxt = self.peek()
+        return nxt.kind is TokenKind.KEYWORD and nxt.text in _TYPE_KEYWORDS and nxt.text not in ("const", "static")
+
+    def parse_unary(self) -> Expr:
+        tok = self.cur
+        if tok.is_op("-", "!", "~", "&", "*"):
+            self.advance()
+            operand = self.parse_unary()
+            return Unary(tok.line, tok.col, None, tok.text, operand)
+        if tok.is_op("+"):
+            self.advance()
+            return self.parse_unary()
+        if tok.is_op("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return IncDec(tok.line, tok.col, None, operand, tok.text[0], True)
+        if tok.is_kw("sizeof"):
+            self.advance()
+            if self.cur.is_op("(") and self._peek_is_type(1):
+                self.expect_op("(")
+                ty = self.parse_pointers(self.parse_base_type())
+                ty = self.parse_array_suffix(ty)
+                self.expect_op(")")
+                return SizeOf(tok.line, tok.col, None, ty, None)
+            operand = self.parse_unary()
+            return SizeOf(tok.line, tok.col, None, None, operand)
+        if self._at_cast():
+            self.expect_op("(")
+            ty = self.parse_pointers(self.parse_base_type())
+            self.expect_op(")")
+            operand = self.parse_unary()
+            return Cast(tok.line, tok.col, None, ty, operand)
+        return self.parse_postfix()
+
+    def _peek_is_type(self, offset: int) -> bool:
+        tok = self.peek(offset)
+        return tok.kind is TokenKind.KEYWORD and tok.text in _TYPE_KEYWORDS
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.cur
+            if tok.is_op("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = Index(tok.line, tok.col, None, expr, index)
+            elif tok.is_op("(") and isinstance(expr, Ident):
+                self.advance()
+                args: list[Expr] = []
+                if not self.cur.is_op(")"):
+                    args.append(self.parse_assignment())
+                    while self.accept_op(","):
+                        args.append(self.parse_assignment())
+                self.expect_op(")")
+                expr = CallExpr(tok.line, tok.col, None, expr.name, args)
+            elif tok.is_op("++", "--"):
+                self.advance()
+                expr = IncDec(tok.line, tok.col, None, expr, tok.text[0], False)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return Num(tok.line, tok.col, None, int(tok.value))
+        if tok.kind is TokenKind.CHAR:
+            self.advance()
+            return Num(tok.line, tok.col, None, int(tok.value))
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            data = bytes(tok.value)
+            # Adjacent string literals concatenate, as in C.
+            while self.cur.kind is TokenKind.STRING:
+                data += bytes(self.advance().value)
+            return StrLit(tok.line, tok.col, None, data + b"\0")
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return Ident(tok.line, tok.col, None, tok.text)
+        if tok.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        raise CompileError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+    # ---- initialisers -----------------------------------------------------------
+
+    def parse_initializer(self) -> Initializer:
+        if self.cur.is_op("{"):
+            tok = self.advance()
+            items: list[Initializer] = []
+            if not self.cur.is_op("}"):
+                items.append(self.parse_initializer())
+                while self.accept_op(","):
+                    if self.cur.is_op("}"):
+                        break
+                    items.append(self.parse_initializer())
+            self.expect_op("}")
+            return InitList(items, tok.line, tok.col)
+        return self.parse_assignment()
+
+    # ---- statements ----------------------------------------------------------------
+
+    def parse_statement(self) -> Stmt:
+        tok = self.cur
+        if tok.is_op("{"):
+            return self.parse_block()
+        if tok.is_kw("if"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            then = self.parse_statement()
+            els = None
+            if self.cur.is_kw("else"):
+                self.advance()
+                els = self.parse_statement()
+            return If(tok.line, tok.col, cond, then, els)
+        if tok.is_kw("while"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_statement()
+            return While(tok.line, tok.col, cond, body)
+        if tok.is_kw("do"):
+            self.advance()
+            body = self.parse_statement()
+            if not self.cur.is_kw("while"):
+                raise CompileError("expected 'while' after do-body", self.cur.line, self.cur.col)
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            self.expect_op(";")
+            return DoWhile(tok.line, tok.col, body, cond)
+        if tok.is_kw("for"):
+            self.advance()
+            self.expect_op("(")
+            init: Stmt | None = None
+            if not self.cur.is_op(";"):
+                if self.at_type():
+                    init = self.parse_declaration()
+                else:
+                    expr = self.parse_expr()
+                    self.expect_op(";")
+                    init = ExprStmt(tok.line, tok.col, expr)
+            else:
+                self.advance()
+            cond = None if self.cur.is_op(";") else self.parse_expr()
+            self.expect_op(";")
+            step = None if self.cur.is_op(")") else self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_statement()
+            return For(tok.line, tok.col, init, cond, step, body)
+        if tok.is_kw("break"):
+            self.advance()
+            self.expect_op(";")
+            return Break(tok.line, tok.col)
+        if tok.is_kw("continue"):
+            self.advance()
+            self.expect_op(";")
+            return Continue(tok.line, tok.col)
+        if tok.is_kw("return"):
+            self.advance()
+            value = None if self.cur.is_op(";") else self.parse_expr()
+            self.expect_op(";")
+            return Return(tok.line, tok.col, value)
+        if self.at_type():
+            return self.parse_declaration()
+        if tok.is_op(";"):
+            self.advance()
+            return ExprStmt(tok.line, tok.col, None)
+        expr = self.parse_expr()
+        self.expect_op(";")
+        return ExprStmt(tok.line, tok.col, expr)
+
+    def parse_block(self) -> Block:
+        tok = self.expect_op("{")
+        stmts: list[Stmt] = []
+        while not self.cur.is_op("}"):
+            if self.cur.kind is TokenKind.EOF:
+                raise CompileError("unterminated block", tok.line, tok.col)
+            stmts.append(self.parse_statement())
+        self.expect_op("}")
+        return Block(tok.line, tok.col, stmts)
+
+    def parse_declaration(self) -> DeclStmt:
+        tok = self.cur
+        base = self.parse_base_type()
+        decls: list[Declarator] = []
+        while True:
+            dtok = self.cur
+            ty = self.parse_pointers(base)
+            name = self.expect_ident().text
+            ty = self.parse_array_suffix(ty)
+            init: Initializer | None = None
+            if self.accept_op("="):
+                init = self.parse_initializer()
+            decls.append(Declarator(name, ty, init, dtok.line, dtok.col))
+            if not self.accept_op(","):
+                break
+        self.expect_op(";")
+        return DeclStmt(tok.line, tok.col, decls)
+
+    # ---- top level ----------------------------------------------------------------------
+
+    def parse_translation_unit(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self.cur.kind is not TokenKind.EOF:
+            unit.items.extend(self.parse_top_level())
+        return unit
+
+    def parse_top_level(self) -> list[FuncDef | GlobalDecl]:
+        tok = self.cur
+        base = self.parse_base_type()
+        ty = self.parse_pointers(base)
+        name_tok = self.expect_ident()
+
+        if self.cur.is_op("("):
+            self.advance()
+            params: list[Param] = []
+            if not self.cur.is_op(")"):
+                if self.cur.is_kw("void") and self.peek().is_op(")"):
+                    self.advance()
+                else:
+                    params.append(self._parse_param())
+                    while self.accept_op(","):
+                        params.append(self._parse_param())
+            self.expect_op(")")
+            if self.accept_op(";"):
+                return [FuncDef(name_tok.text, ty, params, None, tok.line, tok.col)]
+            body = self.parse_block()
+            return [FuncDef(name_tok.text, ty, params, body, tok.line, tok.col)]
+
+        # Global variable declaration(s).
+        items: list[FuncDef | GlobalDecl] = []
+        gty = self.parse_array_suffix(ty)
+        init: Initializer | None = None
+        if self.accept_op("="):
+            init = self.parse_initializer()
+        items.append(
+            GlobalDecl(Declarator(name_tok.text, gty, init, tok.line, tok.col), tok.line, tok.col)
+        )
+        while self.accept_op(","):
+            dtok = self.cur
+            dty = self.parse_pointers(base)
+            dname = self.expect_ident().text
+            dty = self.parse_array_suffix(dty)
+            dinit: Initializer | None = None
+            if self.accept_op("="):
+                dinit = self.parse_initializer()
+            items.append(GlobalDecl(Declarator(dname, dty, dinit, dtok.line, dtok.col), dtok.line, dtok.col))
+        self.expect_op(";")
+        return items
+
+    def _parse_param(self) -> Param:
+        tok = self.cur
+        base = self.parse_base_type()
+        ty = self.parse_pointers(base)
+        name = self.expect_ident().text
+        ty = self.parse_array_suffix(ty)
+        # Array parameters decay to pointers immediately.
+        from repro.frontend.cst_ast import ArrType
+
+        if isinstance(ty, ArrType):
+            ty = PtrType(ty.elem)
+        return Param(name, ty, tok.line, tok.col)
+
+
+def _const_dim(expr: Expr) -> int:
+    """Fold a constant array-dimension expression at parse time."""
+    value = _try_fold(expr)
+    if value is None or value <= 0:
+        raise CompileError("array dimension must be a positive constant", expr.line, expr.col)
+    return value
+
+
+def _try_fold(expr: Expr) -> int | None:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Unary) and expr.op == "-":
+        inner = _try_fold(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, Binary):
+        left = _try_fold(expr.left)
+        right = _try_fold(expr.right)
+        if left is None or right is None:
+            return None
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if b else None,
+            "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b,
+        }
+        fn = ops.get(expr.op)
+        return fn(left, right) if fn else None
+    return None
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse MiniC *source* into a translation unit."""
+    return _Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,59 @@
+"""MiniC runtime library.
+
+The Table I datapaths have no hardware divider, so the compiler lowers
+``/`` and ``%`` to these software routines -- exactly the software
+emulation route TCE takes for operations missing from a datapath.  The
+routines are ordinary MiniC and are compiled, scheduled and simulated
+like any user code; unreachable ones are pruned by the whole-program
+optimiser.
+"""
+
+RUNTIME_SOURCE = """
+/* ---- repro MiniC runtime: software division ---- */
+
+unsigned __divu(unsigned n, unsigned d)
+{
+    unsigned q = 0;
+    unsigned r = 0;
+    int i;
+    if (d == 0)
+        return 0xFFFFFFFF;
+    if (n < d)
+        return 0;
+    /* Restoring shift-subtract division, one quotient bit per step. */
+    for (i = 31; i >= 0; i = i - 1) {
+        r = (r << 1) | ((n >> i) & 1);
+        if (r >= d) {
+            r = r - d;
+            q = q | (((unsigned)1) << i);
+        }
+    }
+    return q;
+}
+
+unsigned __remu(unsigned n, unsigned d)
+{
+    unsigned q = __divu(n, d);
+    return n - q * d;
+}
+
+int __divs(int a, int b)
+{
+    unsigned ua;
+    unsigned ub;
+    unsigned q;
+    int neg = 0;
+    if (a < 0) { ua = (unsigned)(-a); neg = 1 - neg; } else { ua = (unsigned)a; }
+    if (b < 0) { ub = (unsigned)(-b); neg = 1 - neg; } else { ub = (unsigned)b; }
+    q = __divu(ua, ub);
+    if (neg)
+        return -((int)q);
+    return (int)q;
+}
+
+int __rems(int a, int b)
+{
+    int q = __divs(a, b);
+    return a - q * b;
+}
+"""

@@ -1,0 +1,481 @@
+"""Semantic analysis: scopes, types, storage decisions.
+
+Annotates the AST in place: every expression gets ``ty`` (its C type;
+array-typed expressions stay arrays -- IR generation treats them as
+addresses), identifiers get ``symbol``, and every local symbol gets a
+storage decision (``reg`` for plain scalars, ``frame`` for arrays and
+address-taken scalars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.cst_ast import (
+    ArrType,
+    Assign,
+    Binary,
+    Block,
+    Break,
+    CallExpr,
+    Cast,
+    Continue,
+    CType,
+    Declarator,
+    DeclStmt,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IncDec,
+    Index,
+    InitList,
+    INT,
+    IntType,
+    is_array,
+    is_integer,
+    is_pointer,
+    Num,
+    PtrType,
+    Return,
+    SizeOf,
+    Stmt,
+    StrLit,
+    Symbol,
+    Ternary,
+    TranslationUnit,
+    UINT,
+    Unary,
+    VOID,
+    VoidType,
+    While,
+    decay,
+)
+from repro.frontend.errors import CompileError
+
+
+@dataclass
+class ProgramInfo:
+    """Result of semantic analysis over a translation unit."""
+
+    unit: TranslationUnit
+    functions: dict[str, Symbol] = field(default_factory=dict)
+    globals: dict[str, Declarator] = field(default_factory=dict)
+    strings: list[tuple[str, bytes]] = field(default_factory=list)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol, line: int, col: int) -> Symbol:
+        if symbol.name in self.names:
+            raise CompileError(f"redefinition of {symbol.name!r}", line, col)
+        self.names[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _promote(ty: CType) -> CType:
+    """C integer promotion: sub-int types widen to signed int."""
+    if isinstance(ty, IntType) and ty.bits < 32:
+        return INT
+    return ty
+
+
+def _arith_result(lt: CType, rt: CType) -> CType:
+    lt, rt = _promote(lt), _promote(rt)
+    if isinstance(lt, IntType) and isinstance(rt, IntType):
+        return UINT if (not lt.signed or not rt.signed) else INT
+    raise TypeError("non-integer arithmetic")
+
+
+class _Analyzer:
+    def __init__(self, unit: TranslationUnit) -> None:
+        self.unit = unit
+        self.info = ProgramInfo(unit)
+        self.global_scope = _Scope()
+        self.current_fn: Symbol | None = None
+        self.loop_depth = 0
+        self._string_counter = 0
+        self._local_counter = 0
+
+    # ---- driver -----------------------------------------------------------
+
+    def run(self) -> ProgramInfo:
+        # Pass 1: declare all functions and globals (allows forward calls).
+        for item in self.unit.items:
+            if isinstance(item, FuncDef):
+                self._declare_function(item)
+            else:
+                self._declare_global(item)
+        # Pass 2: analyse function bodies and global initialisers.
+        for item in self.unit.items:
+            if isinstance(item, FuncDef) and item.body is not None:
+                self._analyze_function(item)
+            elif isinstance(item, GlobalDecl) and item.decl.init is not None:
+                self._check_global_init(item.decl)
+        if "main" not in self.info.functions:
+            raise CompileError("no 'main' function defined")
+        return self.info
+
+    # ---- declarations ----------------------------------------------------------
+
+    def _declare_function(self, fn: FuncDef) -> None:
+        param_types = tuple(decay(p.ty) for p in fn.params)
+        existing = self.info.functions.get(fn.name)
+        if existing is not None:
+            if existing.param_types != param_types or existing.ret_type != fn.ret_type:
+                raise CompileError(f"conflicting declaration of {fn.name!r}", fn.line, fn.col)
+            if fn.body is not None:
+                if existing.defined:
+                    raise CompileError(f"redefinition of function {fn.name!r}", fn.line, fn.col)
+                existing.defined = True
+            fn.symbol = existing
+            return
+        symbol = Symbol(
+            fn.name,
+            "func",
+            fn.ret_type,
+            ir_name=fn.name,
+            param_types=param_types,
+            ret_type=fn.ret_type,
+            defined=fn.body is not None,
+        )
+        self.info.functions[fn.name] = symbol
+        self.global_scope.define(symbol, fn.line, fn.col)
+        fn.symbol = symbol
+
+    def _declare_global(self, item: GlobalDecl) -> None:
+        decl = item.decl
+        if isinstance(decl.ty, VoidType):
+            raise CompileError(f"global {decl.name!r} has void type", item.line, item.col)
+        decl.ty = _infer_array_size(decl.ty, decl.init, item.line, item.col)
+        symbol = Symbol(decl.name, "global", decl.ty, storage="frame", ir_name=decl.name)
+        self.global_scope.define(symbol, item.line, item.col)
+        decl.symbol = symbol
+        self.info.globals[decl.name] = decl
+
+    def _check_global_init(self, decl: Declarator) -> None:
+        # Global initialisers must be constant; IR generation evaluates
+        # them to bytes.  Here we only type-check expression shapes.
+        self._walk_const_init(decl.init, decl.ty, decl.line, decl.col)
+
+    def _walk_const_init(self, init, ty: CType, line: int, col: int) -> None:
+        if init is None:
+            return
+        if isinstance(init, InitList):
+            if not is_array(ty):
+                raise CompileError("brace initialiser for non-array", init.line, init.col)
+            if ty.count is not None and len(init.items) > ty.count:
+                raise CompileError("too many initialisers", init.line, init.col)
+            for item in init.items:
+                self._walk_const_init(item, ty.elem, line, col)
+        elif isinstance(init, StrLit):
+            self._register_string(init)
+        else:
+            self._expr(init, self.global_scope)
+
+    # ---- functions ---------------------------------------------------------------
+
+    def _analyze_function(self, fn: FuncDef) -> None:
+        self.current_fn = fn.symbol
+        self._local_counter = 0
+        scope = _Scope(self.global_scope)
+        for param in fn.params:
+            symbol = Symbol(
+                param.name, "param", decay(param.ty), ir_name=self._unique(param.name)
+            )
+            scope.define(symbol, param.line, param.col)
+            # irgen finds parameter symbols through the AST scope walk.
+            param.symbol = symbol  # type: ignore[attr-defined]
+        self._stmt(fn.body, scope)
+        self.current_fn = None
+
+    def _unique(self, name: str) -> str:
+        self._local_counter += 1
+        return f"{name}.{self._local_counter}"
+
+    # ---- statements -----------------------------------------------------------------
+
+    def _stmt(self, stmt: Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, Block):
+            inner = _Scope(scope)
+            for s in stmt.stmts:
+                self._stmt(s, inner)
+        elif isinstance(stmt, ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+        elif isinstance(stmt, DeclStmt):
+            for decl in stmt.decls:
+                self._local_decl(decl, scope)
+        elif isinstance(stmt, If):
+            self._expr(stmt.cond, scope)
+            self._stmt(stmt.then, scope)
+            if stmt.els is not None:
+                self._stmt(stmt.els, scope)
+        elif isinstance(stmt, While):
+            self._expr(stmt.cond, scope)
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, DoWhile):
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._expr(stmt.cond, scope)
+        elif isinstance(stmt, For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, (Break, Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, Break) else "continue"
+                raise CompileError(f"{kind} outside loop", stmt.line, stmt.col)
+        elif isinstance(stmt, Return):
+            assert self.current_fn is not None
+            if stmt.value is not None:
+                if isinstance(self.current_fn.ret_type, VoidType):
+                    raise CompileError("return with value in void function", stmt.line, stmt.col)
+                self._expr(stmt.value, scope)
+            elif not isinstance(self.current_fn.ret_type, VoidType):
+                raise CompileError("return without value in non-void function", stmt.line, stmt.col)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _local_decl(self, decl: Declarator, scope: _Scope) -> None:
+        if isinstance(decl.ty, VoidType):
+            raise CompileError(f"local {decl.name!r} has void type", decl.line, decl.col)
+        decl.ty = _infer_array_size(decl.ty, decl.init, decl.line, decl.col)
+        storage = "frame" if is_array(decl.ty) else "reg"
+        symbol = Symbol(
+            decl.name, "local", decl.ty, storage=storage, ir_name=self._unique(decl.name)
+        )
+        scope.define(symbol, decl.line, decl.col)
+        decl.symbol = symbol
+        if decl.init is not None:
+            if isinstance(decl.init, InitList):
+                if not is_array(decl.ty):
+                    raise CompileError("brace initialiser for non-array", decl.line, decl.col)
+                self._walk_local_init(decl.init, decl.ty, scope)
+            elif isinstance(decl.init, StrLit):
+                self._register_string(decl.init)
+                decl.init.ty = PtrType(IntType(8, True))
+                if not (is_array(decl.ty) or is_pointer(decl.ty)):
+                    raise CompileError("string initialiser for non-pointer", decl.line, decl.col)
+            else:
+                self._expr(decl.init, scope)
+
+    def _walk_local_init(self, init: InitList, ty: ArrType, scope: _Scope) -> None:
+        if ty.count is not None and len(init.items) > ty.count:
+            raise CompileError("too many initialisers", init.line, init.col)
+        for item in init.items:
+            if isinstance(item, InitList):
+                if not is_array(ty.elem):
+                    raise CompileError("nested brace initialiser for scalar", item.line, item.col)
+                self._walk_local_init(item, ty.elem, scope)
+            else:
+                self._expr(item, scope)
+
+    # ---- expressions ------------------------------------------------------------------
+
+    def _register_string(self, lit: StrLit) -> None:
+        lit.ir_name = f"__str{self._string_counter}"
+        self._string_counter += 1
+        self.info.strings.append((lit.ir_name, lit.data))
+        lit.ty = ArrType(IntType(8, True), len(lit.data))
+
+    def _expr(self, expr: Expr, scope: _Scope) -> CType:
+        ty = self._expr_inner(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _expr_inner(self, expr: Expr, scope: _Scope) -> CType:
+        if isinstance(expr, Num):
+            return UINT if expr.value > 0x7FFFFFFF else INT
+        if isinstance(expr, StrLit):
+            self._register_string(expr)
+            return expr.ty
+        if isinstance(expr, Ident):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise CompileError(f"undeclared identifier {expr.name!r}", expr.line, expr.col)
+            if symbol.kind == "func":
+                raise CompileError(
+                    f"function {expr.name!r} used as a value (function pointers unsupported)",
+                    expr.line,
+                    expr.col,
+                )
+            expr.symbol = symbol
+            return symbol.ty
+        if isinstance(expr, Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, Assign):
+            return self._assign(expr, scope)
+        if isinstance(expr, IncDec):
+            target_ty = self._expr(expr.target, scope)
+            self._require_lvalue(expr.target)
+            if not (is_integer(target_ty) or is_pointer(target_ty)):
+                raise CompileError("++/-- needs integer or pointer", expr.line, expr.col)
+            return target_ty
+        if isinstance(expr, Ternary):
+            self._expr(expr.cond, scope)
+            then_ty = decay(self._expr(expr.then, scope))
+            els_ty = decay(self._expr(expr.els, scope))
+            if is_pointer(then_ty):
+                return then_ty
+            if is_pointer(els_ty):
+                return els_ty
+            return _arith_result(then_ty, els_ty)
+        if isinstance(expr, CallExpr):
+            return self._call(expr, scope)
+        if isinstance(expr, Index):
+            base_ty = decay(self._expr(expr.base, scope))
+            index_ty = self._expr(expr.index, scope)
+            if not is_pointer(base_ty):
+                raise CompileError("indexing a non-array", expr.line, expr.col)
+            if not is_integer(index_ty):
+                raise CompileError("array index must be an integer", expr.line, expr.col)
+            return base_ty.pointee
+        if isinstance(expr, Cast):
+            self._expr(expr.operand, scope)
+            return expr.target_type
+        if isinstance(expr, SizeOf):
+            if expr.operand is not None:
+                ty = self._expr(expr.operand, scope)
+            else:
+                ty = expr.target_type
+            try:
+                ty.size
+            except ValueError:
+                raise CompileError("sizeof of unsized type", expr.line, expr.col) from None
+            return UINT
+        raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line, expr.col)
+
+    def _unary(self, expr: Unary, scope: _Scope) -> CType:
+        operand_ty = self._expr(expr.operand, scope)
+        if expr.op == "&":
+            self._require_lvalue(expr.operand)
+            if isinstance(expr.operand, Ident) and expr.operand.symbol is not None:
+                symbol = expr.operand.symbol
+                if symbol.kind in ("local", "param") and not is_array(symbol.ty):
+                    symbol.addr_taken = True
+                    symbol.storage = "frame"
+            return PtrType(operand_ty.elem) if is_array(operand_ty) else PtrType(operand_ty)
+        if expr.op == "*":
+            ty = decay(operand_ty)
+            if not is_pointer(ty):
+                raise CompileError("dereference of non-pointer", expr.line, expr.col)
+            return ty.pointee
+        if expr.op == "!":
+            return INT
+        if expr.op in ("-", "~"):
+            if not is_integer(operand_ty):
+                raise CompileError(f"unary {expr.op} needs an integer", expr.line, expr.col)
+            return _promote(operand_ty)
+        raise CompileError(f"unknown unary {expr.op!r}", expr.line, expr.col)
+
+    def _binary(self, expr: Binary, scope: _Scope) -> CType:
+        lt = decay(self._expr(expr.left, scope))
+        rt = decay(self._expr(expr.right, scope))
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if is_pointer(lt) != is_pointer(rt) and not (
+                isinstance(expr.right, Num) and expr.right.value == 0
+            ) and not (isinstance(expr.left, Num) and expr.left.value == 0):
+                raise CompileError("comparison of pointer and integer", expr.line, expr.col)
+            return INT
+        if op == "+":
+            if is_pointer(lt) and is_integer(rt):
+                return lt
+            if is_integer(lt) and is_pointer(rt):
+                return rt
+            return _arith_result(lt, rt)
+        if op == "-":
+            if is_pointer(lt) and is_pointer(rt):
+                return INT
+            if is_pointer(lt) and is_integer(rt):
+                return lt
+            return _arith_result(lt, rt)
+        if op in ("*", "/", "%", "&", "|", "^"):
+            if not (is_integer(lt) and is_integer(rt)):
+                raise CompileError(f"operator {op} needs integers", expr.line, expr.col)
+            return _arith_result(lt, rt)
+        if op in ("<<", ">>"):
+            if not (is_integer(lt) and is_integer(rt)):
+                raise CompileError(f"operator {op} needs integers", expr.line, expr.col)
+            return _promote(lt)
+        raise CompileError(f"unknown binary {op!r}", expr.line, expr.col)
+
+    def _assign(self, expr: Assign, scope: _Scope) -> CType:
+        target_ty = self._expr(expr.target, scope)
+        self._require_lvalue(expr.target)
+        if is_array(target_ty):
+            raise CompileError("cannot assign to an array", expr.line, expr.col)
+        value_ty = self._expr(expr.value, scope)
+        if isinstance(value_ty, VoidType):
+            raise CompileError("cannot assign a void value", expr.line, expr.col)
+        return target_ty
+
+    def _call(self, expr: CallExpr, scope: _Scope) -> CType:
+        symbol = self.info.functions.get(expr.name)
+        if symbol is None:
+            raise CompileError(f"call to undeclared function {expr.name!r}", expr.line, expr.col)
+        if len(expr.args) != len(symbol.param_types):
+            raise CompileError(
+                f"{expr.name} expects {len(symbol.param_types)} arguments, got {len(expr.args)}",
+                expr.line,
+                expr.col,
+            )
+        for arg in expr.args:
+            self._expr(arg, scope)
+        expr.symbol = symbol
+        return symbol.ret_type
+
+    def _require_lvalue(self, expr: Expr) -> None:
+        if isinstance(expr, Ident):
+            return
+        if isinstance(expr, Index):
+            return
+        if isinstance(expr, Unary) and expr.op == "*":
+            return
+        raise CompileError("expression is not assignable", expr.line, expr.col)
+
+
+def _infer_array_size(ty: CType, init, line: int, col: int) -> CType:
+    """Complete ``T x[] = {...}`` / ``char s[] = "..."`` array types."""
+    if not (isinstance(ty, ArrType) and ty.count is None):
+        return ty
+    if isinstance(init, InitList):
+        return ArrType(ty.elem, len(init.items))
+    if isinstance(init, StrLit):
+        return ArrType(ty.elem, len(init.data))
+    raise CompileError("unsized array needs an initialiser", line, col)
+
+
+def analyze(unit: TranslationUnit) -> ProgramInfo:
+    """Run semantic analysis; returns the annotated program description."""
+    return _Analyzer(unit).run()

@@ -1,0 +1,61 @@
+"""Three-address intermediate representation.
+
+The IR sits between the MiniC frontend and the machine backends: virtual
+registers, basic blocks with explicit terminators, and an operation set
+deliberately close to the Table I machine repertoire so that lowering is
+nearly one-to-one.  The reference interpreter in :mod:`repro.ir.interp`
+defines the semantics and acts as the correctness oracle for every
+simulator in the stack.
+"""
+
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CJump,
+    Const,
+    Copy,
+    FrameAddr,
+    Instr,
+    Jump,
+    Load,
+    Operand,
+    Ret,
+    Store,
+    Sym,
+    Terminator,
+    UnOp,
+    VReg,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.module import GlobalVar, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import InterpError, Interpreter
+from repro.ir.liveness import block_live_out, compute_liveness
+
+__all__ = [
+    "BasicBlock",
+    "BinOp",
+    "CJump",
+    "Call",
+    "Const",
+    "Copy",
+    "FrameAddr",
+    "Function",
+    "GlobalVar",
+    "IRBuilder",
+    "Instr",
+    "InterpError",
+    "Interpreter",
+    "Jump",
+    "Load",
+    "Module",
+    "Operand",
+    "Ret",
+    "Store",
+    "Sym",
+    "Terminator",
+    "UnOp",
+    "VReg",
+    "block_live_out",
+    "compute_liveness",
+]

@@ -1,0 +1,109 @@
+"""Convenience builder for constructing IR by hand (tests, examples)."""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CJump,
+    Const,
+    Copy,
+    FrameAddr,
+    Jump,
+    Load,
+    Operand,
+    Ret,
+    Store,
+    UnOp,
+    VReg,
+)
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block.
+
+    Example::
+
+        fn = Function("square", num_params=1)
+        b = IRBuilder(fn)
+        b.set_block(fn.new_block("entry"))
+        result = b.binop("mul", fn.params[0], fn.params[0])
+        b.ret(result)
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.block: BasicBlock | None = None
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def _emit(self, instr) -> None:
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        self.block.append(instr)
+
+    # ---- instruction helpers ---------------------------------------------
+
+    def binop(self, op: str, a: Operand, b: Operand, dest: VReg | None = None) -> VReg:
+        dest = dest or self.function.new_vreg()
+        self._emit(BinOp(op, dest, a, b))
+        return dest
+
+    def unop(self, op: str, a: Operand, dest: VReg | None = None) -> VReg:
+        dest = dest or self.function.new_vreg()
+        self._emit(UnOp(op, dest, a))
+        return dest
+
+    def copy(self, src: Operand, dest: VReg | None = None) -> VReg:
+        dest = dest or self.function.new_vreg()
+        self._emit(Copy(dest, src))
+        return dest
+
+    def const(self, value: int, dest: VReg | None = None) -> VReg:
+        return self.copy(Const(value), dest)
+
+    def load(self, op: str, addr: Operand, dest: VReg | None = None) -> VReg:
+        dest = dest or self.function.new_vreg()
+        self._emit(Load(op, dest, addr))
+        return dest
+
+    def store(self, op: str, addr: Operand, value: Operand) -> None:
+        self._emit(Store(op, addr, value))
+
+    def call(self, callee: str, args: list[Operand], want_result: bool = True) -> VReg | None:
+        dest = self.function.new_vreg() if want_result else None
+        self._emit(Call(dest, callee, list(args)))
+        return dest
+
+    def frame_addr(self, slot: str, dest: VReg | None = None) -> VReg:
+        dest = dest or self.function.new_vreg()
+        self._emit(FrameAddr(dest, slot))
+        return dest
+
+    # ---- terminators -------------------------------------------------------
+
+    def jump(self, target: BasicBlock | str) -> None:
+        name = target.name if isinstance(target, BasicBlock) else target
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        self.block.terminator = Jump(name)
+
+    def cjump(
+        self,
+        cond: Operand,
+        true_target: BasicBlock | str,
+        false_target: BasicBlock | str,
+    ) -> None:
+        tname = true_target.name if isinstance(true_target, BasicBlock) else true_target
+        fname = false_target.name if isinstance(false_target, BasicBlock) else false_target
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        self.block.terminator = CJump(cond, tname, fname)
+
+    def ret(self, value: Operand | None = None) -> None:
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        self.block.terminator = Ret(value)

@@ -1,0 +1,126 @@
+"""Functions and basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instr, Jump, Terminator, VReg
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending in a terminator."""
+
+    name: str
+    instrs: list[Instr] = field(default_factory=list)
+    terminator: Terminator | None = None
+
+    def append(self, instr: Instr) -> None:
+        if self.terminator is not None:
+            raise ValueError(f"block {self.name} already terminated")
+        self.instrs.append(instr)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> tuple[str, ...]:
+        return self.terminator.successors() if self.terminator else ()
+
+    def __repr__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines += [f"  {instr!r}" for instr in self.instrs]
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FrameSlot:
+    """A stack-frame allocation (local arrays, spills)."""
+
+    name: str
+    size: int
+    align: int = 4
+
+
+class Function:
+    """An IR function: ordered basic blocks plus frame/vreg bookkeeping.
+
+    Attributes:
+        name: function name.
+        params: virtual registers receiving the arguments, in order.
+        blocks: mapping block name -> block; ``block_order`` preserves
+            layout order (the first entry is the entry block).
+        frame_slots: stack allocations made by the frontend or backend.
+    """
+
+    def __init__(self, name: str, num_params: int = 0) -> None:
+        self.name = name
+        self._next_vreg = 0
+        self._next_block = 0
+        self.params: list[VReg] = [self.new_vreg() for _ in range(num_params)]
+        self.blocks: dict[str, BasicBlock] = {}
+        self.block_order: list[str] = []
+        self.frame_slots: dict[str, FrameSlot] = {}
+
+    # ---- construction helpers -------------------------------------------
+
+    def new_vreg(self) -> VReg:
+        reg = VReg(self._next_vreg)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        name = f"{hint}{self._next_block}"
+        self._next_block += 1
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        self.block_order.append(name)
+        return block
+
+    def add_frame_slot(self, name: str, size: int, align: int = 4) -> str:
+        if name in self.frame_slots:
+            raise ValueError(f"duplicate frame slot {name!r} in {self.name}")
+        self.frame_slots[name] = FrameSlot(name, size, align)
+        return name
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.block_order[0]]
+
+    def ordered_blocks(self) -> list[BasicBlock]:
+        return [self.blocks[name] for name in self.block_order]
+
+    # ---- structural maintenance -----------------------------------------
+
+    def remove_block(self, name: str) -> None:
+        del self.blocks[name]
+        self.block_order.remove(name)
+
+    def predecessors(self) -> dict[str, list[str]]:
+        preds: dict[str, list[str]] = {name: [] for name in self.block_order}
+        for block in self.ordered_blocks():
+            for succ in block.successors():
+                preds[succ].append(block.name)
+        return preds
+
+    def verify(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        if not self.block_order:
+            raise ValueError(f"function {self.name} has no blocks")
+        for block in self.ordered_blocks():
+            if block.terminator is None:
+                raise ValueError(f"block {block.name} of {self.name} lacks a terminator")
+            for succ in block.successors():
+                if succ not in self.blocks:
+                    raise ValueError(
+                        f"block {block.name} of {self.name} jumps to unknown block {succ}"
+                    )
+            for instr in block.instrs:
+                if isinstance(instr, (Terminator, Jump)):
+                    raise ValueError(f"terminator in instruction list of {block.name}")
+
+    def __repr__(self) -> str:
+        header = f"func {self.name}({', '.join(map(repr, self.params))})"
+        return "\n".join([header] + [repr(b) for b in self.ordered_blocks()])

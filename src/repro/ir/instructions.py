@@ -1,0 +1,318 @@
+"""IR operands, instructions and terminators.
+
+Design notes:
+
+* Non-SSA: virtual registers may be redefined.  Passes that need def-use
+  information compute liveness on demand (:mod:`repro.ir.liveness`).
+* The arithmetic operation set is exactly the machine's (Table I), so the
+  backend lowers almost one-to-one.  Richer C comparisons are synthesised
+  by the frontend from ``eq``/``gt``/``gtu`` plus ``xor``.
+* Division is not in the operation set; the frontend lowers ``/`` and
+  ``%`` to calls into a MiniC runtime library (software emulation, as TCE
+  does for operations missing from a datapath).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+#: Binary IR operations (subset of the ALU repertoire).
+BINARY_OPS = frozenset(
+    {"add", "sub", "mul", "and", "ior", "xor", "eq", "gt", "gtu", "shl", "shr", "shru"}
+)
+#: Unary IR operations.
+UNARY_OPS = frozenset({"sxhw", "sxqw"})
+#: Load operations with their access width and signedness.
+LOAD_OPS = frozenset({"ldw", "ldh", "ldq", "ldqu", "ldhu"})
+#: Store operations.
+STORE_OPS = frozenset({"stw", "sth", "stq"})
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register (32-bit)."""
+
+    id: int
+
+    def __repr__(self) -> str:
+        return f"%v{self.id}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal operand (stored unwrapped; consumers mask)."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym:
+    """The address of a global object (resolved at memory layout time)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Union[VReg, Const, Sym]
+
+
+class Instr:
+    """Base class of straight-line IR instructions."""
+
+    def uses(self) -> tuple[VReg, ...]:
+        """Virtual registers read by this instruction."""
+        raise NotImplementedError
+
+    def defs(self) -> tuple[VReg, ...]:
+        """Virtual registers written by this instruction."""
+        raise NotImplementedError
+
+    def operands(self) -> tuple[Operand, ...]:
+        """All value operands, in evaluation order."""
+        raise NotImplementedError
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True when the instruction cannot be removed even if dead."""
+        return False
+
+
+def _regs(*operands: Operand) -> tuple[VReg, ...]:
+    return tuple(op for op in operands if isinstance(op, VReg))
+
+
+@dataclass
+class BinOp(Instr):
+    """``dest = op(a, b)`` -- pure two-operand arithmetic."""
+
+    op: str
+    dest: VReg
+    a: Operand
+    b: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.a, self.b)
+
+    def defs(self) -> tuple[VReg, ...]:
+        return (self.dest,)
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.op} {self.a}, {self.b}"
+
+
+@dataclass
+class UnOp(Instr):
+    """``dest = op(a)`` -- pure one-operand arithmetic (sign extensions)."""
+
+    op: str
+    dest: VReg
+    a: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.a)
+
+    def defs(self) -> tuple[VReg, ...]:
+        return (self.dest,)
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.a,)
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.op} {self.a}"
+
+
+@dataclass
+class Copy(Instr):
+    """``dest = src`` -- register copy or constant/symbol materialisation."""
+
+    dest: VReg
+    src: Operand
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.src)
+
+    def defs(self) -> tuple[VReg, ...]:
+        return (self.dest,)
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.src,)
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.src}"
+
+
+@dataclass
+class Load(Instr):
+    """``dest = op [addr]`` -- memory load (absolute byte address)."""
+
+    op: str
+    dest: VReg
+    addr: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in LOAD_OPS:
+            raise ValueError(f"unknown load op {self.op!r}")
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.addr)
+
+    def defs(self) -> tuple[VReg, ...]:
+        return (self.dest,)
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.addr,)
+
+    @property
+    def has_side_effects(self) -> bool:
+        # Loads are kept ordered against stores but a dead load is removable.
+        return False
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.op} [{self.addr}]"
+
+
+@dataclass
+class Store(Instr):
+    """``op [addr] = value`` -- memory store."""
+
+    op: str
+    addr: Operand
+    value: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in STORE_OPS:
+            raise ValueError(f"unknown store op {self.op!r}")
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.addr, self.value)
+
+    def defs(self) -> tuple[VReg, ...]:
+        return ()
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.addr, self.value)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.op} [{self.addr}] = {self.value}"
+
+
+@dataclass
+class Call(Instr):
+    """``dest = call callee(args...)`` (dest may be None)."""
+
+    dest: VReg | None
+    callee: str
+    args: list[Operand] = field(default_factory=list)
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(*self.args)
+
+    def defs(self) -> tuple[VReg, ...]:
+        return (self.dest,) if self.dest is not None else ()
+
+    def operands(self) -> tuple[Operand, ...]:
+        return tuple(self.args)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        prefix = f"{self.dest} = " if self.dest is not None else ""
+        return f"{prefix}call {self.callee}({args})"
+
+
+@dataclass
+class FrameAddr(Instr):
+    """``dest = &frame[slot]`` -- address of a stack-frame slot."""
+
+    dest: VReg
+    slot: str
+
+    def uses(self) -> tuple[VReg, ...]:
+        return ()
+
+    def defs(self) -> tuple[VReg, ...]:
+        return (self.dest,)
+
+    def operands(self) -> tuple[Operand, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = frameaddr {self.slot}"
+
+
+class Terminator:
+    """Base class of block terminators."""
+
+    def uses(self) -> tuple[VReg, ...]:
+        return ()
+
+    def successors(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass
+class Jump(Terminator):
+    """Unconditional branch to *target*."""
+
+    target: str
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def __repr__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class CJump(Terminator):
+    """Branch to *true_target* when *cond* is non-zero, else *false_target*."""
+
+    cond: Operand
+    true_target: str
+    false_target: str
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.cond)
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.true_target, self.false_target)
+
+    def __repr__(self) -> str:
+        return f"cjump {self.cond} ? {self.true_target} : {self.false_target}"
+
+
+@dataclass
+class Ret(Terminator):
+    """Return from the function, optionally with a value."""
+
+    value: Operand | None = None
+
+    def uses(self) -> tuple[VReg, ...]:
+        return _regs(self.value) if isinstance(self.value, VReg) else ()
+
+    def __repr__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"

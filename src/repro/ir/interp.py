@@ -1,0 +1,225 @@
+"""Reference IR interpreter -- the semantic oracle of the whole stack.
+
+Programs executed here must produce bit-identical results to the same
+programs compiled and run on any of the TTA/VLIW/scalar simulators; the
+test suite enforces this by differential testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.semantics import MASK32, evaluate, sext8, sext16
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CJump,
+    Const,
+    Copy,
+    FrameAddr,
+    Jump,
+    Load,
+    Operand,
+    Ret,
+    Store,
+    Sym,
+    UnOp,
+    VReg,
+)
+from repro.ir.module import Module
+
+#: Default data-memory size (bytes): 1 MiB data + stack.
+DEFAULT_MEMORY = 1 << 20
+#: Default stack top (grows downward).
+DEFAULT_STACK_TOP = DEFAULT_MEMORY - 16
+
+
+class InterpError(RuntimeError):
+    """Raised on invalid programs or runaway execution."""
+
+
+@dataclass
+class InterpStats:
+    """Dynamic execution statistics."""
+
+    instructions: int = 0
+    calls: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    per_op: dict[str, int] = field(default_factory=dict)
+
+    def count(self, op: str) -> None:
+        self.per_op[op] = self.per_op.get(op, 0) + 1
+
+
+class Interpreter:
+    """Executes an IR module with a flat byte-addressed data memory.
+
+    Args:
+        module: verified IR module.
+        memory_size: data memory size in bytes.
+        max_steps: dynamic IR instruction budget (guards against runaway
+            loops in generated test programs).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        memory_size: int = DEFAULT_MEMORY,
+        max_steps: int = 200_000_000,
+    ) -> None:
+        module.verify()
+        self.module = module
+        self.memory = bytearray(memory_size)
+        self.symbols = module.layout_globals()
+        self.stats = InterpStats()
+        self.max_steps = max_steps
+        self._sp = DEFAULT_STACK_TOP if memory_size >= DEFAULT_MEMORY else memory_size - 16
+        for name, var in module.globals.items():
+            addr = self.symbols[name]
+            self.memory[addr : addr + len(var.init)] = var.init
+
+    # ---- memory access ----------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > len(self.memory):
+            raise InterpError(f"memory access out of range: addr={addr:#x} size={size}")
+
+    def load(self, op: str, addr: int) -> int:
+        addr &= MASK32
+        self.stats.loads += 1
+        if op == "ldw":
+            self._check(addr, 4)
+            return int.from_bytes(self.memory[addr : addr + 4], "little")
+        if op in ("ldh", "ldhu"):
+            self._check(addr, 2)
+            raw = int.from_bytes(self.memory[addr : addr + 2], "little")
+            return sext16(raw) if op == "ldh" else raw
+        if op in ("ldq", "ldqu"):
+            self._check(addr, 1)
+            raw = self.memory[addr]
+            return sext8(raw) if op == "ldq" else raw
+        raise InterpError(f"unknown load op {op}")
+
+    def store(self, op: str, addr: int, value: int) -> None:
+        addr &= MASK32
+        value &= MASK32
+        self.stats.stores += 1
+        if op == "stw":
+            self._check(addr, 4)
+            self.memory[addr : addr + 4] = value.to_bytes(4, "little")
+        elif op == "sth":
+            self._check(addr, 2)
+            self.memory[addr : addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+        elif op == "stq":
+            self._check(addr, 1)
+            self.memory[addr] = value & 0xFF
+        else:
+            raise InterpError(f"unknown store op {op}")
+
+    # ---- execution ----------------------------------------------------------
+
+    def run(self, args: list[int] | None = None, entry: str | None = None) -> int:
+        """Execute the module's entry function; returns its (u32) result."""
+        entry = entry or self.module.entry
+        result = self.call(entry, [a & MASK32 for a in (args or [])])
+        return result if result is not None else 0
+
+    def call(self, name: str, args: list[int]) -> int | None:
+        function = self.module.functions.get(name)
+        if function is None:
+            raise InterpError(f"call to undefined function {name!r}")
+        if len(args) != len(function.params):
+            raise InterpError(
+                f"{name} expects {len(function.params)} args, got {len(args)}"
+            )
+        self.stats.calls += 1
+
+        # Lay out this activation's frame slots on the downward stack.
+        saved_sp = self._sp
+        slot_addr: dict[str, int] = {}
+        sp = self._sp
+        for slot in function.frame_slots.values():
+            sp -= slot.size
+            sp -= sp % slot.align
+            slot_addr[slot.name] = sp
+        if sp < 0:
+            raise InterpError("stack overflow")
+        self._sp = sp
+
+        env: dict[VReg, int] = dict(zip(function.params, args))
+        block = function.entry
+        try:
+            while True:
+                for instr in block.instrs:
+                    self._step(function, instr, env, slot_addr)
+                term = block.terminator
+                self.stats.instructions += 1
+                if self.stats.instructions > self.max_steps:
+                    raise InterpError(f"step budget exceeded in {name}")
+                if isinstance(term, Ret):
+                    if term.value is None:
+                        return None
+                    return self._value(term.value, env)
+                self.stats.branches += 1
+                if isinstance(term, Jump):
+                    block = function.blocks[term.target]
+                elif isinstance(term, CJump):
+                    taken = self._value(term.cond, env) != 0
+                    block = function.blocks[term.true_target if taken else term.false_target]
+                else:  # pragma: no cover - verify() excludes this
+                    raise InterpError(f"bad terminator {term!r}")
+        finally:
+            self._sp = saved_sp
+
+    def _value(self, operand: Operand, env: dict[VReg, int]) -> int:
+        if isinstance(operand, VReg):
+            try:
+                return env[operand]
+            except KeyError:
+                raise InterpError(f"read of undefined vreg {operand}") from None
+        if isinstance(operand, Const):
+            return operand.value & MASK32
+        if isinstance(operand, Sym):
+            try:
+                return self.symbols[operand.name]
+            except KeyError:
+                raise InterpError(f"undefined symbol {operand.name}") from None
+        raise InterpError(f"bad operand {operand!r}")
+
+    def _step(
+        self,
+        function: Function,
+        instr,
+        env: dict[VReg, int],
+        slot_addr: dict[str, int],
+    ) -> None:
+        self.stats.instructions += 1
+        if self.stats.instructions > self.max_steps:
+            raise InterpError(f"step budget exceeded in {function.name}")
+        if isinstance(instr, BinOp):
+            self.stats.count(instr.op)
+            env[instr.dest] = evaluate(
+                instr.op, (self._value(instr.a, env), self._value(instr.b, env))
+            )
+        elif isinstance(instr, Copy):
+            env[instr.dest] = self._value(instr.src, env)
+        elif isinstance(instr, UnOp):
+            self.stats.count(instr.op)
+            env[instr.dest] = evaluate(instr.op, (self._value(instr.a, env),))
+        elif isinstance(instr, Load):
+            self.stats.count(instr.op)
+            env[instr.dest] = self.load(instr.op, self._value(instr.addr, env))
+        elif isinstance(instr, Store):
+            self.stats.count(instr.op)
+            self.store(instr.op, self._value(instr.addr, env), self._value(instr.value, env))
+        elif isinstance(instr, Call):
+            result = self.call(instr.callee, [self._value(a, env) for a in instr.args])
+            if instr.dest is not None:
+                env[instr.dest] = result if result is not None else 0
+        elif isinstance(instr, FrameAddr):
+            env[instr.dest] = slot_addr[instr.slot]
+        else:
+            raise InterpError(f"unknown instruction {instr!r}")

@@ -1,0 +1,50 @@
+"""Backward liveness dataflow over IR functions.
+
+Used by dead-code elimination, the register allocator and the TTA
+scheduler (a value that is not live out of its block can have its RF
+write-back elided entirely once every use is software-bypassed -- the
+dead-result-move elimination of the paper's Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import VReg
+
+
+def compute_liveness(function: Function) -> tuple[dict[str, set[VReg]], dict[str, set[VReg]]]:
+    """Compute (live_in, live_out) sets per block name."""
+    use: dict[str, set[VReg]] = {}
+    defd: dict[str, set[VReg]] = {}
+    for block in function.ordered_blocks():
+        u: set[VReg] = set()
+        d: set[VReg] = set()
+        for instr in block.instrs:
+            u.update(r for r in instr.uses() if r not in d)
+            d.update(instr.defs())
+        if block.terminator is not None:
+            u.update(r for r in block.terminator.uses() if r not in d)
+        use[block.name] = u
+        defd[block.name] = d
+
+    live_in: dict[str, set[VReg]] = {name: set() for name in function.block_order}
+    live_out: dict[str, set[VReg]] = {name: set() for name in function.block_order}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.ordered_blocks()):
+            name = block.name
+            out: set[VReg] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            inn = use[name] | (out - defd[name])
+            if out != live_out[name] or inn != live_in[name]:
+                live_out[name] = out
+                live_in[name] = inn
+                changed = True
+    return live_in, live_out
+
+
+def block_live_out(function: Function) -> dict[str, set[VReg]]:
+    """Convenience wrapper returning only the live-out sets."""
+    return compute_liveness(function)[1]

@@ -1,0 +1,87 @@
+"""Modules: the compilation unit (functions + global data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+
+
+@dataclass
+class GlobalVar:
+    """A global data object.
+
+    Attributes:
+        name: symbol name.
+        size: size in bytes.
+        align: required alignment.
+        init: initialiser bytes (zero-padded to *size* at layout time).
+    """
+
+    name: str
+    size: int
+    align: int = 4
+    init: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"global {self.name} must have positive size")
+        if len(self.init) > self.size:
+            raise ValueError(f"initialiser of {self.name} exceeds its size")
+
+
+@dataclass
+class Module:
+    """A linked program: functions, globals and the designated entry point."""
+
+    name: str = "module"
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    entry: str = "main"
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals:
+            raise ValueError(f"duplicate global {var.name}")
+        self.globals[var.name] = var
+        return var
+
+    def verify(self) -> None:
+        for function in self.functions.values():
+            function.verify()
+        if self.entry not in self.functions:
+            raise ValueError(f"entry function {self.entry!r} not defined")
+
+    def layout_globals(self, base: int = 0x100) -> dict[str, int]:
+        """Assign each global an absolute byte address starting at *base*.
+
+        Returns the symbol table.  Layout is deterministic (insertion
+        order) so program images are reproducible.
+        """
+        table: dict[str, int] = {}
+        addr = base
+        for var in self.globals.values():
+            align = max(var.align, 1)
+            addr = (addr + align - 1) // align * align
+            table[var.name] = addr
+            addr += var.size
+        return table
+
+    def data_end(self, base: int = 0x100) -> int:
+        """First free byte address after all globals."""
+        table = self.layout_globals(base)
+        if not table:
+            return base
+        last = max(table, key=table.__getitem__)
+        return table[last] + self.globals[last].size
+
+    def __repr__(self) -> str:
+        parts = [f"module {self.name}"]
+        parts += [f"global {g.name}[{g.size}]" for g in self.globals.values()]
+        parts += [repr(f) for f in self.functions.values()]
+        return "\n".join(parts)

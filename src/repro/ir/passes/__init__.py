@@ -1,0 +1,26 @@
+"""IR optimisation passes.
+
+The pipeline mirrors what the paper's TCE/LLVM flow does at -O3 for the
+parts that matter to the evaluation: aggressive local simplification,
+global dead-code elimination, control-flow cleanup, and whole-program
+pruning of unreachable functions (the effect the paper credits for the
+small TTA program images, e.g. blowfish).
+"""
+
+from repro.ir.passes.local import const_fold, copy_prop, local_cse, strength_reduce
+from repro.ir.passes.dce import dead_code_elim
+from repro.ir.passes.simplifycfg import simplify_cfg
+from repro.ir.passes.prune import prune_unreachable_functions
+from repro.ir.passes.pipeline import optimize_function, optimize_module
+
+__all__ = [
+    "const_fold",
+    "copy_prop",
+    "dead_code_elim",
+    "local_cse",
+    "optimize_function",
+    "optimize_module",
+    "prune_unreachable_functions",
+    "simplify_cfg",
+    "strength_reduce",
+]

@@ -1,0 +1,38 @@
+"""Global dead-code elimination based on liveness."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Copy, FrameAddr, Load, UnOp
+from repro.ir.liveness import compute_liveness
+
+_PURE = (BinOp, UnOp, Copy, FrameAddr, Load)
+
+
+def dead_code_elim(function: Function) -> bool:
+    """Remove pure instructions whose results are never used."""
+    changed = False
+    # Iterate: removing one dead instruction can make its inputs dead too.
+    while True:
+        _, live_out = compute_liveness(function)
+        removed = False
+        for block in function.ordered_blocks():
+            live = set(live_out[block.name])
+            if block.terminator is not None:
+                live.update(block.terminator.uses())
+            keep = []
+            for instr in reversed(block.instrs):
+                defs = instr.defs()
+                if isinstance(instr, _PURE) and defs and not any(d in live for d in defs):
+                    removed = True
+                    continue
+                live.difference_update(defs)
+                live.update(instr.uses())
+                keep.append(instr)
+            keep.reverse()
+            if len(keep) != len(block.instrs):
+                block.instrs = keep
+        if not removed:
+            break
+        changed = True
+    return changed

@@ -1,0 +1,283 @@
+"""Local (per-basic-block) optimisations.
+
+All four passes are forward scans with an environment that is killed at
+definitions -- safe in the non-SSA IR.  Each returns True when it changed
+the function.
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import evaluate
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CJump,
+    Const,
+    Copy,
+    FrameAddr,
+    Jump,
+    Load,
+    Operand,
+    Store,
+    UnOp,
+    VReg,
+)
+
+_COMMUTATIVE = frozenset({"add", "mul", "and", "ior", "xor", "eq"})
+
+
+def _sub_operand(operand: Operand, env: dict[VReg, Const]) -> Operand:
+    if isinstance(operand, VReg) and operand in env:
+        return env[operand]
+    return operand
+
+
+def const_fold(function: Function) -> bool:
+    """Fold constant expressions and propagate constants within blocks."""
+    changed = False
+    for block in function.ordered_blocks():
+        env: dict[VReg, Const] = {}
+        new_instrs = []
+        for instr in block.instrs:
+            instr, block_changed = _fold_instr(instr, env)
+            changed |= block_changed
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+        term = block.terminator
+        if isinstance(term, CJump):
+            cond = _sub_operand(term.cond, env)
+            if isinstance(cond, Const):
+                target = term.true_target if (cond.value & 0xFFFFFFFF) != 0 else term.false_target
+                block.terminator = Jump(target)
+                changed = True
+            elif cond is not term.cond:
+                term.cond = cond
+                changed = True
+    return changed
+
+
+def _fold_instr(instr, env: dict[VReg, Const]):
+    changed = False
+    if isinstance(instr, BinOp):
+        a, b = _sub_operand(instr.a, env), _sub_operand(instr.b, env)
+        if a is not instr.a or b is not instr.b:
+            instr.a, instr.b = a, b
+            changed = True
+        if isinstance(a, Const) and isinstance(b, Const):
+            value = evaluate(instr.op, (a.value, b.value))
+            env.pop(instr.dest, None)
+            env[instr.dest] = Const(value)
+            return Copy(instr.dest, Const(value)), True
+        env.pop(instr.dest, None)
+        return instr, changed
+    if isinstance(instr, UnOp):
+        a = _sub_operand(instr.a, env)
+        if a is not instr.a:
+            instr.a = a
+            changed = True
+        if isinstance(a, Const):
+            value = evaluate(instr.op, (a.value,))
+            env[instr.dest] = Const(value)
+            return Copy(instr.dest, Const(value)), True
+        env.pop(instr.dest, None)
+        return instr, changed
+    if isinstance(instr, Copy):
+        src = _sub_operand(instr.src, env)
+        if src is not instr.src:
+            instr.src = src
+            changed = True
+        if isinstance(src, Const):
+            env[instr.dest] = src
+        else:
+            env.pop(instr.dest, None)
+        return instr, changed
+    if isinstance(instr, Load):
+        addr = _sub_operand(instr.addr, env)
+        if addr is not instr.addr:
+            instr.addr = addr
+            changed = True
+        env.pop(instr.dest, None)
+        return instr, changed
+    if isinstance(instr, Store):
+        addr = _sub_operand(instr.addr, env)
+        value = _sub_operand(instr.value, env)
+        if addr is not instr.addr or value is not instr.value:
+            instr.addr, instr.value = addr, value
+            changed = True
+        return instr, changed
+    if isinstance(instr, Call):
+        new_args = [_sub_operand(a, env) for a in instr.args]
+        if any(n is not o for n, o in zip(new_args, instr.args)):
+            instr.args = new_args
+            changed = True
+        if instr.dest is not None:
+            env.pop(instr.dest, None)
+        return instr, changed
+    if isinstance(instr, FrameAddr):
+        env.pop(instr.dest, None)
+        return instr, changed
+    return instr, changed
+
+
+def copy_prop(function: Function) -> bool:
+    """Forward-propagate register copies within blocks."""
+    changed = False
+    for block in function.ordered_blocks():
+        env: dict[VReg, VReg] = {}
+
+        def resolve(reg: VReg) -> VReg:
+            seen = set()
+            while reg in env and reg not in seen:
+                seen.add(reg)
+                reg = env[reg]
+            return reg
+
+        def kill(reg: VReg) -> None:
+            env.pop(reg, None)
+            for key in [k for k, v in env.items() if v == reg]:
+                del env[key]
+
+        for instr in block.instrs:
+            # Substitute uses.
+            for attr in _reg_operand_attrs(instr):
+                value = getattr(instr, attr)
+                if isinstance(value, VReg):
+                    resolved = resolve(value)
+                    if resolved != value:
+                        setattr(instr, attr, resolved)
+                        changed = True
+            if isinstance(instr, Call):
+                new_args = []
+                for arg in instr.args:
+                    if isinstance(arg, VReg):
+                        resolved = resolve(arg)
+                        changed |= resolved != arg
+                        new_args.append(resolved)
+                    else:
+                        new_args.append(arg)
+                instr.args = new_args
+            # Record/kill definitions.
+            for dest in instr.defs():
+                kill(dest)
+            if isinstance(instr, Copy) and isinstance(instr.src, VReg) and instr.src != instr.dest:
+                env[instr.dest] = instr.src
+        term = block.terminator
+        if isinstance(term, CJump) and isinstance(term.cond, VReg):
+            resolved = resolve(term.cond)
+            if resolved != term.cond:
+                term.cond = resolved
+                changed = True
+        from repro.ir.instructions import Ret
+
+        if isinstance(term, Ret) and isinstance(term.value, VReg):
+            resolved = resolve(term.value)
+            if resolved != term.value:
+                term.value = resolved
+                changed = True
+    return changed
+
+
+def _reg_operand_attrs(instr) -> tuple[str, ...]:
+    if isinstance(instr, BinOp):
+        return ("a", "b")
+    if isinstance(instr, UnOp):
+        return ("a",)
+    if isinstance(instr, Copy):
+        return ("src",)
+    if isinstance(instr, Load):
+        return ("addr",)
+    if isinstance(instr, Store):
+        return ("addr", "value")
+    return ()
+
+
+def _operand_key(operand: Operand):
+    if isinstance(operand, VReg):
+        return ("r", operand.id)
+    if isinstance(operand, Const):
+        return ("c", operand.value & 0xFFFFFFFF)
+    return ("s", operand.name)
+
+
+def local_cse(function: Function) -> bool:
+    """Common-subexpression elimination within blocks (pure ops only)."""
+    changed = False
+    for block in function.ordered_blocks():
+        table: dict[tuple, VReg] = {}
+        new_instrs = []
+        for instr in block.instrs:
+            if isinstance(instr, (BinOp, UnOp)):
+                if isinstance(instr, BinOp):
+                    key_ops = [_operand_key(instr.a), _operand_key(instr.b)]
+                    if instr.op in _COMMUTATIVE:
+                        key_ops.sort()
+                    key = (instr.op, *key_ops)
+                else:
+                    key = (instr.op, _operand_key(instr.a))
+                existing = table.get(key)
+                if existing is not None and existing != instr.dest:
+                    new_instrs.append(Copy(instr.dest, existing))
+                    _invalidate(table, instr.dest)
+                    changed = True
+                    continue
+                _invalidate(table, instr.dest)
+                table[key] = instr.dest
+                new_instrs.append(instr)
+                continue
+            for dest in instr.defs():
+                _invalidate(table, dest)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed
+
+
+def _invalidate(table: dict[tuple, VReg], reg: VReg) -> None:
+    reg_key = ("r", reg.id)
+    stale = [
+        key
+        for key, value in table.items()
+        if value == reg or reg_key in key[1:]
+    ]
+    for key in stale:
+        del table[key]
+
+
+def strength_reduce(function: Function) -> bool:
+    """Algebraic identities and multiply-to-shift strength reduction."""
+    changed = False
+    for block in function.ordered_blocks():
+        new_instrs = []
+        for instr in block.instrs:
+            if isinstance(instr, BinOp):
+                replacement = _reduce_binop(instr)
+                if replacement is not None:
+                    new_instrs.append(replacement)
+                    changed = True
+                    continue
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed
+
+
+def _reduce_binop(instr: BinOp):
+    op, a, b = instr.op, instr.a, instr.b
+    # Canonicalise constants to the right for commutative ops.
+    if op in _COMMUTATIVE and isinstance(a, Const) and not isinstance(b, Const):
+        instr.a, instr.b = b, a
+        a, b = instr.a, instr.b
+    if not isinstance(b, Const):
+        return None
+    value = b.value & 0xFFFFFFFF
+    if op in ("add", "sub", "ior", "xor", "shl", "shr", "shru") and value == 0:
+        return Copy(instr.dest, a)
+    if op == "and" and value == 0xFFFFFFFF:
+        return Copy(instr.dest, a)
+    if op in ("and", "mul") and value == 0:
+        return Copy(instr.dest, Const(0))
+    if op == "mul":
+        if value == 1:
+            return Copy(instr.dest, a)
+        if value & (value - 1) == 0:
+            return BinOp("shl", instr.dest, a, Const(value.bit_length() - 1))
+    return None

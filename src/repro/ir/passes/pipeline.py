@@ -1,0 +1,36 @@
+"""The standard optimisation pipeline."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.passes.dce import dead_code_elim
+from repro.ir.passes.local import const_fold, copy_prop, local_cse, strength_reduce
+from repro.ir.passes.prune import prune_unreachable_functions
+from repro.ir.passes.simplifycfg import simplify_cfg
+
+#: Safety bound on fixpoint iteration.
+_MAX_ROUNDS = 8
+
+
+def optimize_function(function: Function) -> None:
+    """Run the per-function pass pipeline to a fixpoint."""
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        changed |= simplify_cfg(function)
+        changed |= const_fold(function)
+        changed |= copy_prop(function)
+        changed |= strength_reduce(function)
+        changed |= local_cse(function)
+        changed |= dead_code_elim(function)
+        if not changed:
+            break
+    function.verify()
+
+
+def optimize_module(module: Module) -> None:
+    """Optimise every function and prune unreachable ones."""
+    prune_unreachable_functions(module)
+    for function in module.functions.values():
+        optimize_function(function)
+    module.verify()

@@ -1,0 +1,31 @@
+"""Whole-program pruning of unreachable functions.
+
+The paper attributes part of the small TTA program images to LLVM's
+aggressive whole-program optimisation; this pass provides the dominant
+effect (dropping never-called runtime and helper functions from the
+image).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+
+
+def prune_unreachable_functions(module: Module) -> bool:
+    """Remove functions not reachable from the entry point."""
+    reachable: set[str] = set()
+    stack = [module.entry]
+    while stack:
+        name = stack.pop()
+        if name in reachable or name not in module.functions:
+            continue
+        reachable.add(name)
+        for block in module.functions[name].ordered_blocks():
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    stack.append(instr.callee)
+    dead = [name for name in module.functions if name not in reachable]
+    for name in dead:
+        del module.functions[name]
+    return bool(dead)

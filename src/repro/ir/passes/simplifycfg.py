@@ -1,0 +1,101 @@
+"""Control-flow graph cleanup."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import CJump, Jump
+
+
+def simplify_cfg(function: Function) -> bool:
+    """Remove unreachable blocks, thread trivial jumps, merge chains."""
+    changed = False
+    while True:
+        pass_changed = False
+        pass_changed |= _remove_unreachable(function)
+        pass_changed |= _fold_trivial_cjumps(function)
+        pass_changed |= _thread_jumps(function)
+        pass_changed |= _merge_chains(function)
+        if not pass_changed:
+            break
+        changed = True
+    return changed
+
+
+def _remove_unreachable(function: Function) -> bool:
+    reachable: set[str] = set()
+    stack = [function.block_order[0]]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        stack.extend(function.blocks[name].successors())
+    dead = [name for name in function.block_order if name not in reachable]
+    for name in dead:
+        function.remove_block(name)
+    return bool(dead)
+
+
+def _fold_trivial_cjumps(function: Function) -> bool:
+    changed = False
+    for block in function.ordered_blocks():
+        term = block.terminator
+        if isinstance(term, CJump) and term.true_target == term.false_target:
+            block.terminator = Jump(term.true_target)
+            changed = True
+    return changed
+
+
+def _jump_target(function: Function, name: str, seen: set[str]) -> str:
+    """Follow chains of empty jump-only blocks."""
+    while name not in seen:
+        block = function.blocks[name]
+        if block.instrs or not isinstance(block.terminator, Jump):
+            break
+        seen.add(name)
+        name = block.terminator.target
+    return name
+
+
+def _thread_jumps(function: Function) -> bool:
+    changed = False
+    for block in function.ordered_blocks():
+        term = block.terminator
+        if isinstance(term, Jump):
+            target = _jump_target(function, term.target, {block.name})
+            if target != term.target:
+                term.target = target
+                changed = True
+        elif isinstance(term, CJump):
+            true_target = _jump_target(function, term.true_target, {block.name})
+            false_target = _jump_target(function, term.false_target, {block.name})
+            if true_target != term.true_target or false_target != term.false_target:
+                term.true_target = true_target
+                term.false_target = false_target
+                changed = True
+    return changed
+
+
+def _merge_chains(function: Function) -> bool:
+    changed = False
+    while True:
+        preds = function.predecessors()
+        merged = False
+        for block in function.ordered_blocks():
+            term = block.terminator
+            if not isinstance(term, Jump):
+                continue
+            succ_name = term.target
+            if succ_name == block.name or succ_name == function.block_order[0]:
+                continue
+            if len(preds[succ_name]) != 1:
+                continue
+            succ = function.blocks[succ_name]
+            block.instrs.extend(succ.instrs)
+            block.terminator = succ.terminator
+            function.remove_block(succ_name)
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed

@@ -1,0 +1,43 @@
+"""Integer instruction set of the evaluated soft cores.
+
+This package defines the operation repertoire of Table I of the paper --
+the minimal integer operation set required by the C compiler plus integer
+multiplication -- together with exact 32-bit two's-complement semantics
+shared by the IR interpreter and all simulators.
+"""
+
+from repro.isa.operations import (
+    ALU_OPS,
+    CU_OPS,
+    LSU_OPS,
+    OPS,
+    OpKind,
+    OpSpec,
+    latency_of,
+    op_exists,
+)
+from repro.isa.semantics import (
+    MASK32,
+    evaluate,
+    sext8,
+    sext16,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "ALU_OPS",
+    "CU_OPS",
+    "LSU_OPS",
+    "MASK32",
+    "OPS",
+    "OpKind",
+    "OpSpec",
+    "evaluate",
+    "latency_of",
+    "op_exists",
+    "sext8",
+    "sext16",
+    "to_signed",
+    "to_unsigned",
+]

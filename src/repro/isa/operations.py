@@ -1,0 +1,146 @@
+"""Operation repertoire of the evaluated datapaths (paper Table I).
+
+Every design point in the paper shares the same minimal integer operation
+set: an ALU (with a pipelined multiplier), a load-store unit operating on
+absolute addresses, and a control unit providing absolute jumps and
+return-address-saving calls.  Latencies are the instruction-visible result
+latencies from Table I: a result triggered at cycle ``t`` is available to a
+transport at cycle ``t + latency``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpKind(enum.Enum):
+    """Functional class of an operation; decides which FU hosts it."""
+
+    ALU = "alu"
+    LSU = "lsu"
+    CU = "cu"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operation.
+
+    Attributes:
+        name: mnemonic, lower case (``add``, ``ldw`` ...).
+        kind: which functional-unit class executes it.
+        latency: result latency in cycles (Table I).  Stores have latency 0:
+            they produce no result.
+        operands: number of input operands transported to the FU.
+        has_result: whether the operation produces a 32-bit result.
+        reads_mem: operation loads from data memory.
+        writes_mem: operation stores to data memory.
+        is_control: operation redirects the program counter.
+    """
+
+    name: str
+    kind: OpKind
+    latency: int
+    operands: int
+    has_result: bool = True
+    reads_mem: bool = False
+    writes_mem: bool = False
+    is_control: bool = False
+    commutative: bool = False
+    doc: str = field(default="", compare=False)
+
+
+def _alu(name: str, latency: int, doc: str, commutative: bool = False) -> OpSpec:
+    return OpSpec(name, OpKind.ALU, latency, 2, commutative=commutative, doc=doc)
+
+
+#: Arithmetic-logic operations (paper Table I, left column).
+ALU_OPS: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in (
+        _alu("add", 1, "32-bit addition", commutative=True),
+        _alu("and", 1, "bitwise and", commutative=True),
+        _alu("eq", 1, "equality comparison, result 0/1", commutative=True),
+        _alu("gt", 1, "signed greater-than, result 0/1"),
+        _alu("gtu", 1, "unsigned greater-than, result 0/1"),
+        _alu("ior", 1, "bitwise inclusive or", commutative=True),
+        _alu("mul", 3, "32-bit multiplication (low word)", commutative=True),
+        _alu("shl", 2, "shift left (shift amount mod 32)"),
+        _alu("shr", 2, "arithmetic shift right"),
+        _alu("shru", 2, "logical shift right"),
+        _alu("sub", 1, "32-bit subtraction"),
+        OpSpec("sxhw", OpKind.ALU, 1, 1, doc="sign-extend 16-bit halfword"),
+        OpSpec("sxqw", OpKind.ALU, 1, 1, doc="sign-extend 8-bit byte"),
+        _alu("xor", 1, "bitwise exclusive or", commutative=True),
+    )
+}
+
+#: Load-store operations (paper Table I, right column).  All addresses are
+#: absolute byte addresses.  Loads have a 3-cycle result latency; stores
+#: retire immediately from the datapath's point of view.
+LSU_OPS: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in (
+        OpSpec("ldw", OpKind.LSU, 3, 1, reads_mem=True, doc="load 32-bit word"),
+        OpSpec("ldh", OpKind.LSU, 3, 1, reads_mem=True, doc="load 16-bit, sign extend"),
+        OpSpec("ldq", OpKind.LSU, 3, 1, reads_mem=True, doc="load 8-bit, sign extend"),
+        OpSpec("ldqu", OpKind.LSU, 3, 1, reads_mem=True, doc="load 8-bit, zero extend"),
+        OpSpec("ldhu", OpKind.LSU, 3, 1, reads_mem=True, doc="load 16-bit, zero extend"),
+        OpSpec("stw", OpKind.LSU, 0, 2, has_result=False, writes_mem=True, doc="store 32-bit word"),
+        OpSpec("sth", OpKind.LSU, 0, 2, has_result=False, writes_mem=True, doc="store 16-bit halfword"),
+        OpSpec("stq", OpKind.LSU, 0, 2, has_result=False, writes_mem=True, doc="store 8-bit byte"),
+    )
+}
+
+#: Control-unit operations.  The architectures use absolute jumps and a
+#: return-address-saving call; conditional control flow is a guarded jump
+#: (``cjump``/``cjumpz``) consuming a predicate produced by a comparison.
+#: Control transfers have 3 exposed delay slots (latency 3) in the TTA and
+#: VLIW machines, matching a lightly pipelined fetch unit.
+CU_OPS: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in (
+        OpSpec("jump", OpKind.CU, 3, 1, has_result=False, is_control=True, doc="absolute jump"),
+        OpSpec(
+            "cjump",
+            OpKind.CU,
+            3,
+            2,
+            has_result=False,
+            is_control=True,
+            doc="jump to operand 1 when predicate operand 0 is non-zero",
+        ),
+        OpSpec(
+            "cjumpz",
+            OpKind.CU,
+            3,
+            2,
+            has_result=False,
+            is_control=True,
+            doc="jump to operand 1 when predicate operand 0 is zero",
+        ),
+        OpSpec(
+            "call",
+            OpKind.CU,
+            3,
+            1,
+            has_result=True,
+            is_control=True,
+            doc="absolute call; result is the return address",
+        ),
+        OpSpec("ret", OpKind.CU, 3, 1, has_result=False, is_control=True, doc="jump to return address"),
+    )
+}
+
+#: Complete operation table.
+OPS: dict[str, OpSpec] = {**ALU_OPS, **LSU_OPS, **CU_OPS}
+
+
+def op_exists(name: str) -> bool:
+    """Return True when *name* is a known machine operation."""
+    return name in OPS
+
+
+def latency_of(name: str) -> int:
+    """Result latency of operation *name* (cycles)."""
+    return OPS[name].latency

@@ -1,0 +1,88 @@
+"""Exact 32-bit two's-complement semantics for the Table I operations.
+
+All datapath values are stored as unsigned 32-bit Python integers in the
+range ``[0, 2**32)``.  Signedness is a property of the operation, not the
+value, exactly as in the hardware.  These functions are the single source
+of truth: the IR interpreter, the TTA/VLIW simulators and the scalar core
+model all evaluate operations through :func:`evaluate`, which makes
+differential testing across the stack meaningful.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+MASK32 = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap an arbitrary Python integer into the unsigned 32-bit domain."""
+    return value & MASK32
+
+
+def to_signed(value: int) -> int:
+    """Interpret an unsigned 32-bit value as a signed two's-complement int."""
+    value &= MASK32
+    return value - 0x100000000 if value & _SIGN_BIT else value
+
+
+def sext8(value: int) -> int:
+    """Sign-extend the low byte of *value* to 32 bits."""
+    value &= 0xFF
+    return (value | 0xFFFFFF00) & MASK32 if value & 0x80 else value
+
+
+def sext16(value: int) -> int:
+    """Sign-extend the low halfword of *value* to 32 bits."""
+    value &= 0xFFFF
+    return (value | 0xFFFF0000) & MASK32 if value & 0x8000 else value
+
+
+def _shift_amount(value: int) -> int:
+    # The barrel shifters of the evaluated FUs use the low five bits of the
+    # shift operand, like MicroBlaze and most 32-bit ISAs.
+    return value & 31
+
+
+def evaluate(op: str, operands: Sequence[int]) -> int:
+    """Evaluate ALU operation *op* on unsigned 32-bit *operands*.
+
+    Returns the unsigned 32-bit result.  Memory and control operations are
+    not evaluated here -- they need machine state and live in the
+    simulators/interpreter.
+
+    Raises:
+        KeyError: for unknown or non-ALU operations.
+    """
+    a = operands[0] & MASK32
+    b = (operands[1] & MASK32) if len(operands) > 1 else 0
+    if op == "add":
+        return (a + b) & MASK32
+    if op == "sub":
+        return (a - b) & MASK32
+    if op == "mul":
+        return (a * b) & MASK32
+    if op == "and":
+        return a & b
+    if op == "ior":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "eq":
+        return 1 if a == b else 0
+    if op == "gt":
+        return 1 if to_signed(a) > to_signed(b) else 0
+    if op == "gtu":
+        return 1 if a > b else 0
+    if op == "shl":
+        return (a << _shift_amount(b)) & MASK32
+    if op == "shru":
+        return (a >> _shift_amount(b)) & MASK32
+    if op == "shr":
+        return (to_signed(a) >> _shift_amount(b)) & MASK32
+    if op == "sxhw":
+        return sext16(a)
+    if op == "sxqw":
+        return sext8(a)
+    raise KeyError(f"not a pure ALU operation: {op!r}")

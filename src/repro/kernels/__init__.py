@@ -1,0 +1,44 @@
+"""The benchmark workloads (CHStone-like kernels in MiniC).
+
+Eight self-checking integer kernels mirroring the CHStone programs the
+paper evaluates (the two SoftFloat cases are excluded there too).  Every
+kernel's ``main`` returns 0 on success and a positive error code
+identifying the failed check, so correctness is asserted on every
+architecture in every run.  See each ``.mc`` header for the exact
+relationship to its CHStone counterpart and any substitution made.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.frontend import compile_source
+from repro.ir.module import Module
+
+#: Kernel names in the paper's presentation order.
+KERNELS: tuple[str, ...] = (
+    "adpcm",
+    "aes",
+    "blowfish",
+    "gsm",
+    "jpeg",
+    "mips",
+    "motion",
+    "sha",
+)
+
+_KERNEL_DIR = Path(__file__).parent
+
+
+def kernel_source(name: str) -> str:
+    """MiniC source text of the named kernel."""
+    if name not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; known: {KERNELS}")
+    return (_KERNEL_DIR / f"{name}.mc").read_text()
+
+
+@lru_cache(maxsize=None)
+def compile_kernel(name: str, optimize: bool = True) -> Module:
+    """Compile the named kernel to an optimised IR module (cached)."""
+    return compile_source(kernel_source(name), module_name=name, optimize=optimize)

@@ -1,0 +1,37 @@
+"""Machine description model (TCE-ADF-like).
+
+A :class:`~repro.machine.machine.Machine` describes one soft-core design
+point: its function units, register files, transport buses (for TTA-style
+machines), issue width (for VLIW/scalar machines) and immediate-encoding
+parameters.  :mod:`repro.machine.presets` provides all thirteen design
+points evaluated in the paper.
+"""
+
+from repro.machine.components import Bus, FunctionUnit, RegisterFile
+from repro.machine.encoding import EncodingInfo, encode_machine
+from repro.machine.machine import Machine, MachineStyle
+from repro.machine.presets import (
+    ALL_PRESETS,
+    MULTI_ISSUE_PRESETS,
+    SINGLE_ISSUE_PRESETS,
+    build_machine,
+    preset_names,
+)
+from repro.machine.validate import MachineValidationError, validate_machine
+
+__all__ = [
+    "ALL_PRESETS",
+    "Bus",
+    "EncodingInfo",
+    "FunctionUnit",
+    "Machine",
+    "MachineStyle",
+    "MachineValidationError",
+    "MULTI_ISSUE_PRESETS",
+    "RegisterFile",
+    "SINGLE_ISSUE_PRESETS",
+    "build_machine",
+    "encode_machine",
+    "preset_names",
+    "validate_machine",
+]

@@ -1,0 +1,128 @@
+"""Datapath components: function units, register files and transport buses.
+
+The component model follows the TCE architecture-definition view of the
+paper's Fig. 1-3: every function unit exposes a *trigger* input port ``t``
+(transporting an operand there starts the operation), an optional second
+operand port ``o1`` with input-port storage, and a result output port
+``r`` whose value stays readable until the next operation on the same unit
+overwrites it (semi-virtual time latching).
+
+Endpoint naming convention used throughout the backend and simulators:
+
+* ``"<fu>.t"`` -- trigger input port of function unit ``<fu>``
+* ``"<fu>.o1"`` -- operand input port
+* ``"<fu>.r"`` -- result output port
+* ``"<rf>.read"`` / ``"<rf>.write"`` -- a read/write port of register file
+  ``<rf>`` (individual ports are interchangeable; only the per-cycle port
+  *count* constrains scheduling)
+* ``"IMM"`` -- a bus-encoded immediate source
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operations import OPS, OpKind
+
+
+@dataclass(frozen=True)
+class FunctionUnit:
+    """A pipelined function unit hosting a set of operations.
+
+    Attributes:
+        name: unique unit name within the machine (``ALU0`` ...).
+        kind: functional class; every operation executed by the unit must
+            belong to this class.
+        ops: mnemonics of the operations the unit implements.
+    """
+
+    name: str
+    kind: OpKind
+    ops: frozenset[str]
+
+    def __post_init__(self) -> None:
+        unknown = [op for op in self.ops if op not in OPS]
+        if unknown:
+            raise ValueError(f"unknown operations on {self.name}: {unknown}")
+        mismatched = [op for op in self.ops if OPS[op].kind is not self.kind]
+        if mismatched:
+            raise ValueError(
+                f"operations {mismatched} do not match unit kind {self.kind} on {self.name}"
+            )
+
+    @property
+    def trigger_port(self) -> str:
+        return f"{self.name}.t"
+
+    @property
+    def operand_port(self) -> str:
+        return f"{self.name}.o1"
+
+    @property
+    def result_port(self) -> str:
+        return f"{self.name}.r"
+
+    @property
+    def opcode_bits(self) -> int:
+        """Bits needed to select an opcode at the trigger port."""
+        return max(1, (len(self.ops) - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """A general-purpose register file.
+
+    Attributes:
+        name: unique name (``RF0`` ...).
+        size: number of 32-bit registers.
+        read_ports / write_ports: simultaneously usable ports per cycle.
+    """
+
+    name: str
+    size: int
+    read_ports: int
+    write_ports: int
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.read_ports <= 0 or self.write_ports <= 0:
+            raise ValueError(f"register file {self.name} must have positive size and ports")
+
+    @property
+    def read_endpoint(self) -> str:
+        return f"{self.name}.read"
+
+    @property
+    def write_endpoint(self) -> str:
+        return f"{self.name}.write"
+
+    @property
+    def index_bits(self) -> int:
+        """Bits needed to address one register."""
+        return max(1, (self.size - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class Bus:
+    """One transport bus of a TTA machine.
+
+    A move on the bus transports a value from one connected source endpoint
+    to one connected destination endpoint per cycle.  The connectivity sets
+    determine both what the scheduler may do and how wide the bus's move
+    slot is in the instruction word.
+
+    Attributes:
+        index: bus number (0-based).
+        sources: connected source endpoints (``"ALU0.r"``, ``"RF0.read"``,
+            ``"IMM"``).
+        destinations: connected destination endpoints (``"ALU0.t"``,
+            ``"RF0.write"``, ...).
+    """
+
+    index: int
+    sources: frozenset[str] = field(default_factory=frozenset)
+    destinations: frozenset[str] = field(default_factory=frozenset)
+
+    def connects(self, source: str, destination: str) -> bool:
+        """True when the bus can move *source* -> *destination*."""
+        return source in self.sources and destination in self.destinations

@@ -1,0 +1,123 @@
+"""Instruction-encoding model.
+
+TTA machines get an automatically derived move-slot encoding in the style
+of TCE: per bus, the destination field enumerates every reachable
+destination code (one code per register of a connected RF, one per opcode
+of a connected trigger port, one per plain operand port) and the source
+field enumerates every reachable source code or a short immediate.  The
+instruction width is the sum of the *per-bus* slot widths -- which is why
+pruning and merging buses (``bm-tta-*``) shrinks the instruction word, the
+effect Table II highlights.
+
+VLIW machines use the paper's manual encoding: per issue slot a 4-bit
+opcode, two source fields of ``regbits + 1`` bits (the extra bit selects
+an inline immediate) and a ``regbits`` destination field.
+
+Scalar machines use fixed 32-bit instructions with a 16-bit immediate
+field and an IMM-prefix instruction for wider constants, like MicroBlaze.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.components import Bus
+from repro.machine.machine import Machine, MachineStyle
+
+
+def _bits_for(codes: int) -> int:
+    """Field width to distinguish *codes* distinct codes (min 1)."""
+    return max(1, (max(codes, 1) - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class EncodingInfo:
+    """Derived encoding facts for one machine.
+
+    Attributes:
+        machine_name: design point the encoding belongs to.
+        instruction_width: instruction word width in bits.
+        slot_widths: per-bus (TTA) or per-issue-slot (VLIW) widths; a
+            one-element tuple for scalar machines.
+        simm_bits: inline immediate width.
+    """
+
+    machine_name: str
+    instruction_width: int
+    slot_widths: tuple[int, ...]
+    simm_bits: int
+
+    def program_bits(self, instruction_count: int) -> int:
+        """Program image size in bits for *instruction_count* instructions."""
+        return self.instruction_width * instruction_count
+
+
+def _tta_source_codes(machine: Machine, bus: Bus) -> int:
+    codes = 0
+    for endpoint in bus.sources:
+        if endpoint == "IMM":
+            continue  # handled via the short-immediate alternative
+        kind = machine.unit_kind_of_endpoint(endpoint)
+        if kind == "rf":
+            codes += machine.rf_by_name[endpoint.split(".", 1)[0]].size
+        else:
+            codes += 1  # one FU result port
+    return codes
+
+
+def _tta_destination_codes(machine: Machine, bus: Bus) -> int:
+    codes = 0
+    for endpoint in bus.destinations:
+        kind = machine.unit_kind_of_endpoint(endpoint)
+        if kind == "rf":
+            codes += machine.rf_by_name[endpoint.split(".", 1)[0]].size
+        else:
+            unit_name, port = endpoint.split(".", 1)
+            fu = machine.fu_by_name[unit_name]
+            codes += len(fu.ops) if port == "t" else 1
+    return codes
+
+
+def _tta_slot_width(machine: Machine, bus: Bus) -> int:
+    src_bits = _bits_for(_tta_source_codes(machine, bus))
+    if "IMM" in bus.sources:
+        # One extra code space alternative: an inline immediate needs
+        # simm_bits plus the select bit folded into the field width.
+        src_bits = max(src_bits, machine.simm_bits + 1)
+    dst_bits = _bits_for(_tta_destination_codes(machine, bus))
+    return src_bits + dst_bits
+
+
+def _vliw_slot_width(machine: Machine) -> int:
+    regbits = _bits_for(machine.total_registers)
+    return 4 + 2 * (regbits + 1) + regbits
+
+
+def encode_machine(machine: Machine) -> EncodingInfo:
+    """Derive the instruction encoding of *machine*."""
+    if machine.style is MachineStyle.TTA:
+        widths = tuple(_tta_slot_width(machine, bus) for bus in machine.buses)
+        return EncodingInfo(machine.name, sum(widths), widths, machine.simm_bits)
+    if machine.style is MachineStyle.VLIW:
+        slot = _vliw_slot_width(machine)
+        widths = (slot,) * machine.issue_width
+        return EncodingInfo(machine.name, slot * machine.issue_width, widths, machine.simm_bits)
+    # Scalar: fixed 32-bit RISC encoding.
+    return EncodingInfo(machine.name, 32, (32,), machine.simm_bits)
+
+
+def immediate_slot_cost(machine: Machine, value: int) -> int:
+    """Extra transport/issue slots needed to encode immediate *value*.
+
+    Returns 0 when the constant fits the inline short-immediate field,
+    1 when a 16-bit extension is needed and 2 for full 32-bit constants
+    (TTA long-immediate templates span additional move slots; VLIW and
+    scalar machines issue IMM-extension words).
+    """
+    signed = value - 0x100000000 if value & 0x80000000 else value
+    simm = machine.simm_bits
+    if -(1 << (simm - 1)) <= signed < (1 << (simm - 1)):
+        return 0
+    if -(1 << 15) <= signed < (1 << 15) or 0 <= value < (1 << 16):
+        return 1
+    return 2

@@ -1,0 +1,385 @@
+"""The thirteen design points evaluated in the paper.
+
+===========  ======  =====================================  ==============
+name         style   register files                         buses / issue
+===========  ======  =====================================  ==============
+mblaze-3     scalar  32x32b, 2r1w                           1-issue, 3-stage
+mblaze-5     scalar  32x32b, 2r1w                           1-issue, 5-stage
+m-tta-1      TTA     32x32b, 1r1w                           3 buses
+m-vliw-2     VLIW    64x32b, 4r2w                           2-issue
+p-vliw-2     VLIW    2 x 32x32b, 2r1w                       2-issue
+m-tta-2      TTA     64x32b, 1r1w                           6 buses
+p-tta-2      TTA     2 x 32x32b, 1r1w                       6 buses
+bm-tta-2     TTA     2 x 32x32b, 1r1w                       5 merged buses
+m-vliw-3     VLIW    96x32b, 6r3w                           3-issue
+p-vliw-3     VLIW    3 x 32x32b, 2r1w                       3-issue
+m-tta-3      TTA     96x32b, 2r1w                           9 buses
+p-tta-3      TTA     3 x 32x32b, 1r1w                       9 buses
+bm-tta-3     TTA     3 x 32x32b, 1r1w                       7 merged buses
+===========  ======  =====================================  ==============
+
+All multi-issue machines share the same function units: one load-store
+unit, one (2-issue) or two (3-issue) ALUs with the full Table I operation
+set, and a control unit.  Register counts follow the paper's rule of never
+under-utilising a 32-entry distributed-RAM block.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.isa.operations import ALU_OPS, CU_OPS, LSU_OPS, OpKind
+from repro.machine.components import Bus, FunctionUnit, RegisterFile
+from repro.machine.machine import Machine, MachineStyle, ScalarTiming
+
+_ALU_OPSET = frozenset(ALU_OPS)
+_LSU_OPSET = frozenset(LSU_OPS)
+_CU_OPSET = frozenset(CU_OPS)
+
+
+def _alu(index: int) -> FunctionUnit:
+    # Only ALU0 hosts the DSP-based multiplier: the paper reports three
+    # DSP blocks for every design point, i.e. one multiplier per core.
+    ops = _ALU_OPSET if index == 0 else _ALU_OPSET - {"mul"}
+    return FunctionUnit(f"ALU{index}", OpKind.ALU, ops)
+
+
+def _lsu() -> FunctionUnit:
+    return FunctionUnit("LSU0", OpKind.LSU, _LSU_OPSET)
+
+
+def _cu() -> FunctionUnit:
+    return FunctionUnit("CU", OpKind.CU, _CU_OPSET)
+
+
+def _full_sources(fus: Iterable[FunctionUnit], rfs: Iterable[RegisterFile]) -> frozenset[str]:
+    sources = {"IMM"}
+    sources.update(fu.result_port for fu in fus)
+    sources.update(rf.read_endpoint for rf in rfs)
+    return frozenset(sources)
+
+
+def _full_destinations(fus: Iterable[FunctionUnit], rfs: Iterable[RegisterFile]) -> frozenset[str]:
+    dests: set[str] = set()
+    for fu in fus:
+        dests.add(fu.trigger_port)
+        dests.add(fu.operand_port)
+    dests.update(rf.write_endpoint for rf in rfs)
+    return frozenset(dests)
+
+
+def _full_buses(
+    count: int, fus: Iterable[FunctionUnit], rfs: Iterable[RegisterFile]
+) -> tuple[Bus, ...]:
+    fus = tuple(fus)
+    rfs = tuple(rfs)
+    # Result ports of control units are sources too (call's return address),
+    # so `fus` passed here must already include the CU.
+    src = _full_sources(fus, rfs)
+    dst = _full_destinations(fus, rfs)
+    return tuple(Bus(i, src, dst) for i in range(count))
+
+
+def _tta(
+    name: str,
+    issue_width: int,
+    rfs: tuple[RegisterFile, ...],
+    bus_count: int,
+    alus: int,
+    description: str,
+) -> Machine:
+    fus = tuple(_alu(i) for i in range(alus)) + (_lsu(),)
+    cu = _cu()
+    buses = _full_buses(bus_count, (*fus, cu), rfs)
+    return Machine(
+        name=name,
+        style=MachineStyle.TTA,
+        issue_width=issue_width,
+        function_units=fus,
+        control_unit=cu,
+        register_files=rfs,
+        buses=buses,
+        simm_bits=7,
+        description=description,
+    )
+
+
+def _vliw(
+    name: str,
+    issue_width: int,
+    rfs: tuple[RegisterFile, ...],
+    alus: int,
+    description: str,
+) -> Machine:
+    fus = tuple(_alu(i) for i in range(alus)) + (_lsu(),)
+    # The paper's manual VLIW encoding: source fields carry a register
+    # address plus an immediate-select bit, so the inline immediate range
+    # equals the register address width.
+    regbits = max(1, (sum(rf.size for rf in rfs) - 1).bit_length())
+    return Machine(
+        name=name,
+        style=MachineStyle.VLIW,
+        issue_width=issue_width,
+        function_units=fus,
+        control_unit=_cu(),
+        register_files=rfs,
+        buses=(),
+        simm_bits=regbits,
+        description=description,
+    )
+
+
+def _bus_merged_2(rfs: tuple[RegisterFile, ...]) -> tuple[Bus, ...]:
+    """Five merged/pruned buses for bm-tta-2 (cf. paper Fig. 4d)."""
+    alu, lsu, cu = _alu(0), _lsu(), _cu()
+    full_src = _full_sources((alu, lsu, cu), rfs)
+    full_dst = _full_destinations((alu, lsu, cu), rfs)
+    rf_reads = frozenset(rf.read_endpoint for rf in rfs)
+    rf_writes = frozenset(rf.write_endpoint for rf in rfs)
+    return (
+        Bus(0, full_src, full_dst),
+        Bus(1, full_src, full_dst),
+        # Operand-feed bus: registers/immediates into FU inputs only.
+        Bus(
+            2,
+            rf_reads | {"IMM", alu.result_port},
+            frozenset({alu.trigger_port, alu.operand_port, lsu.trigger_port, lsu.operand_port}),
+        ),
+        # Write-back bus: FU results into the RFs plus the ALU bypass.
+        Bus(
+            3,
+            frozenset({alu.result_port, lsu.result_port, "IMM"}),
+            rf_writes | {alu.trigger_port, alu.operand_port},
+        ),
+        # Control bus: predicates and jump targets, plus spare write-back.
+        Bus(
+            4,
+            rf_reads | {"IMM", alu.result_port},
+            frozenset({cu.trigger_port, cu.operand_port}) | rf_writes,
+        ),
+    )
+
+
+def _bus_merged_3(rfs: tuple[RegisterFile, ...]) -> tuple[Bus, ...]:
+    """Seven merged/pruned buses for bm-tta-3."""
+    alu0, alu1, lsu, cu = _alu(0), _alu(1), _lsu(), _cu()
+    fus = (alu0, alu1, lsu, cu)
+    full_src = _full_sources(fus, rfs)
+    full_dst = _full_destinations(fus, rfs)
+    rf_reads = frozenset(rf.read_endpoint for rf in rfs)
+    rf_writes = frozenset(rf.write_endpoint for rf in rfs)
+    alu_ins = frozenset(
+        {alu0.trigger_port, alu0.operand_port, alu1.trigger_port, alu1.operand_port}
+    )
+    return (
+        Bus(0, full_src, full_dst),
+        Bus(1, full_src, full_dst),
+        Bus(2, full_src, full_dst),
+        Bus(
+            3,
+            rf_reads | {"IMM", alu0.result_port, alu1.result_port},
+            alu_ins | {lsu.trigger_port, lsu.operand_port},
+        ),
+        Bus(
+            4,
+            frozenset({alu0.result_port, alu1.result_port, lsu.result_port, "IMM"}),
+            rf_writes | alu_ins,
+        ),
+        Bus(
+            5,
+            rf_reads | {"IMM", alu0.result_port},
+            frozenset({cu.trigger_port, cu.operand_port}) | rf_writes,
+        ),
+        Bus(
+            6,
+            rf_reads | {"IMM", lsu.result_port},
+            alu_ins | {lsu.operand_port},
+        ),
+    )
+
+
+def _scalar(name: str, timing: ScalarTiming, description: str) -> Machine:
+    rf = RegisterFile("RF0", 32, read_ports=2, write_ports=1)
+    return Machine(
+        name=name,
+        style=MachineStyle.SCALAR,
+        issue_width=1,
+        function_units=(_alu(0), _lsu()),
+        control_unit=_cu(),
+        register_files=(rf,),
+        buses=(),
+        simm_bits=16,
+        jump_latency=1,
+        scalar_timing=timing,
+        description=description,
+    )
+
+
+def _rf(name: str, size: int, reads: int, writes: int) -> RegisterFile:
+    return RegisterFile(name, size, read_ports=reads, write_ports=writes)
+
+
+def _build_presets() -> dict[str, Machine]:
+    presets: dict[str, Machine] = {}
+
+    presets["mblaze-3"] = _scalar(
+        "mblaze-3",
+        ScalarTiming(
+            load_extra=1,
+            mul_extra=2,
+            shift_extra=1,
+            taken_branch_extra=2,
+            call_extra=2,
+            pipeline_stages=3,
+        ),
+        "MicroBlaze-like 3-stage scalar core (area-optimised, no forwarding)",
+    )
+    presets["mblaze-5"] = _scalar(
+        "mblaze-5",
+        ScalarTiming(
+            load_extra=0,
+            mul_extra=0,
+            shift_extra=0,
+            taken_branch_extra=2,
+            call_extra=2,
+            pipeline_stages=5,
+        ),
+        "MicroBlaze-like 5-stage scalar core (performance-optimised, forwarding)",
+    )
+
+    presets["m-tta-1"] = _tta(
+        "m-tta-1",
+        issue_width=1,
+        rfs=(_rf("RF0", 32, 1, 1),),
+        bus_count=3,
+        alus=1,
+        description="3-bus single-issue TTA comparable to a 32b scalar RISC",
+    )
+
+    presets["m-vliw-2"] = _vliw(
+        "m-vliw-2",
+        issue_width=2,
+        rfs=(_rf("RF0", 64, 4, 2),),
+        alus=1,
+        description="dual-issue VLIW with a monolithic 64x32b 4r2w RF",
+    )
+    presets["p-vliw-2"] = _vliw(
+        "p-vliw-2",
+        issue_width=2,
+        rfs=(_rf("RF0", 32, 2, 1), _rf("RF1", 32, 2, 1)),
+        alus=1,
+        description="dual-issue VLIW with the RF split into two 2r1w halves",
+    )
+    presets["m-tta-2"] = _tta(
+        "m-tta-2",
+        issue_width=2,
+        rfs=(_rf("RF0", 64, 1, 1),),
+        bus_count=6,
+        alus=1,
+        description="dual-issue TTA with a monolithic 64x32b RF reduced to 1r1w",
+    )
+    presets["p-tta-2"] = _tta(
+        "p-tta-2",
+        issue_width=2,
+        rfs=(_rf("RF0", 32, 1, 1), _rf("RF1", 32, 1, 1)),
+        bus_count=6,
+        alus=1,
+        description="dual-issue TTA with two partitioned 1r1w RFs",
+    )
+    bm2_rfs = (_rf("RF0", 32, 1, 1), _rf("RF1", 32, 1, 1))
+    bm2 = _tta("bm-tta-2", 2, bm2_rfs, 5, 1, "")
+    presets["bm-tta-2"] = Machine(
+        name="bm-tta-2",
+        style=MachineStyle.TTA,
+        issue_width=2,
+        function_units=bm2.function_units,
+        control_unit=bm2.control_unit,
+        register_files=bm2_rfs,
+        buses=_bus_merged_2(bm2_rfs),
+        simm_bits=7,
+        description="p-tta-2 with rarely co-used buses merged (5 buses)",
+    )
+
+    presets["m-vliw-3"] = _vliw(
+        "m-vliw-3",
+        issue_width=3,
+        rfs=(_rf("RF0", 96, 6, 3),),
+        alus=2,
+        description="three-issue VLIW with a monolithic 96x32b 6r3w RF",
+    )
+    presets["p-vliw-3"] = _vliw(
+        "p-vliw-3",
+        issue_width=3,
+        rfs=(_rf("RF0", 32, 2, 1), _rf("RF1", 32, 2, 1), _rf("RF2", 32, 2, 1)),
+        alus=2,
+        description="three-issue VLIW with the RF split into three 2r1w parts",
+    )
+    presets["m-tta-3"] = _tta(
+        "m-tta-3",
+        issue_width=3,
+        rfs=(_rf("RF0", 96, 2, 1),),
+        bus_count=9,
+        alus=2,
+        description="three-issue TTA with a monolithic 96x32b RF reduced to 2r1w",
+    )
+    presets["p-tta-3"] = _tta(
+        "p-tta-3",
+        issue_width=3,
+        rfs=(_rf("RF0", 32, 1, 1), _rf("RF1", 32, 1, 1), _rf("RF2", 32, 1, 1)),
+        bus_count=9,
+        alus=2,
+        description="three-issue TTA with three partitioned 1r1w RFs",
+    )
+    bm3_rfs = (_rf("RF0", 32, 1, 1), _rf("RF1", 32, 1, 1), _rf("RF2", 32, 1, 1))
+    bm3 = _tta("bm-tta-3", 3, bm3_rfs, 7, 2, "")
+    presets["bm-tta-3"] = Machine(
+        name="bm-tta-3",
+        style=MachineStyle.TTA,
+        issue_width=3,
+        function_units=bm3.function_units,
+        control_unit=bm3.control_unit,
+        register_files=bm3_rfs,
+        buses=_bus_merged_3(bm3_rfs),
+        simm_bits=7,
+        description="p-tta-3 with rarely co-used buses merged (7 buses)",
+    )
+    return presets
+
+
+ALL_PRESETS: tuple[str, ...] = (
+    "mblaze-3",
+    "mblaze-5",
+    "m-tta-1",
+    "m-vliw-2",
+    "p-vliw-2",
+    "m-tta-2",
+    "p-tta-2",
+    "bm-tta-2",
+    "m-vliw-3",
+    "p-vliw-3",
+    "m-tta-3",
+    "p-tta-3",
+    "bm-tta-3",
+)
+
+SINGLE_ISSUE_PRESETS: tuple[str, ...] = ("mblaze-3", "mblaze-5", "m-tta-1")
+MULTI_ISSUE_PRESETS: tuple[str, ...] = tuple(
+    n for n in ALL_PRESETS if n not in SINGLE_ISSUE_PRESETS
+)
+
+_PRESET_CACHE: dict[str, Machine] = {}
+
+
+def build_machine(name: str) -> Machine:
+    """Return the named design point (machines are immutable; cached)."""
+    if not _PRESET_CACHE:
+        _PRESET_CACHE.update(_build_presets())
+    try:
+        return _PRESET_CACHE[name]
+    except KeyError:
+        raise KeyError(f"unknown machine preset {name!r}; known: {ALL_PRESETS}") from None
+
+
+def preset_names() -> tuple[str, ...]:
+    """All preset names, in the paper's presentation order."""
+    return ALL_PRESETS

@@ -1,0 +1,79 @@
+"""Structural validation of machine descriptions.
+
+A machine that passes :func:`validate_machine` is guaranteed to be
+compilable: every compiler-required operation is hosted by some unit, and
+(for TTA machines) every operand can physically reach every FU and every
+result can reach a register file through at least one bus.
+"""
+
+from __future__ import annotations
+
+from repro.isa.operations import OPS
+from repro.machine.machine import Machine, MachineStyle
+
+#: Operations the code generator may emit and therefore every machine must
+#: provide (the full Table I repertoire plus control transfers).
+REQUIRED_OPS: frozenset[str] = frozenset(OPS)
+
+
+class MachineValidationError(ValueError):
+    """Raised when a machine description is structurally unusable."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise MachineValidationError(message)
+
+
+def validate_machine(machine: Machine) -> None:
+    """Validate *machine*; raises :class:`MachineValidationError` on defects."""
+    names = [u.name for u in machine.all_units] + [rf.name for rf in machine.register_files]
+    _check(len(names) == len(set(names)), f"{machine.name}: duplicate component names")
+
+    missing = sorted(REQUIRED_OPS - set(machine.units_for_op))
+    _check(not missing, f"{machine.name}: operations missing from every unit: {missing}")
+
+    _check(machine.issue_width >= 1, f"{machine.name}: issue width must be >= 1")
+    _check(machine.register_files != (), f"{machine.name}: no register files")
+    _check(machine.total_registers >= 16, f"{machine.name}: fewer than 16 registers")
+
+    if machine.style is MachineStyle.TTA:
+        _validate_tta_connectivity(machine)
+    else:
+        _check(machine.buses == (), f"{machine.name}: non-TTA machine must not define buses")
+    if machine.style is MachineStyle.SCALAR:
+        _check(machine.scalar_timing is not None, f"{machine.name}: scalar machine needs timing")
+
+
+def _validate_tta_connectivity(machine: Machine) -> None:
+    _check(len(machine.buses) >= 1, f"{machine.name}: TTA machine without buses")
+    valid_sources = {"IMM"}
+    valid_dests: set[str] = set()
+    for fu in machine.all_units:
+        valid_sources.add(fu.result_port)
+        valid_dests.add(fu.trigger_port)
+        valid_dests.add(fu.operand_port)
+    for rf in machine.register_files:
+        valid_sources.add(rf.read_endpoint)
+        valid_dests.add(rf.write_endpoint)
+
+    for bus in machine.buses:
+        bad_src = bus.sources - valid_sources
+        bad_dst = bus.destinations - valid_dests
+        _check(not bad_src, f"{machine.name}: bus {bus.index} has unknown sources {bad_src}")
+        _check(not bad_dst, f"{machine.name}: bus {bus.index} has unknown destinations {bad_dst}")
+
+    rf_reads = {rf.read_endpoint for rf in machine.register_files}
+    for fu in machine.all_units:
+        for port in (fu.trigger_port, fu.operand_port):
+            reachable = any(
+                bus.connects(src, port) for bus in machine.buses for src in rf_reads | {"IMM"}
+            )
+            _check(reachable, f"{machine.name}: no bus feeds {port} from any RF or immediate")
+        if any(OPS[op].has_result for op in fu.ops):
+            reachable = any(
+                bus.connects(fu.result_port, rf.write_endpoint)
+                for bus in machine.buses
+                for rf in machine.register_files
+            )
+            _check(reachable, f"{machine.name}: result of {fu.name} cannot reach any RF")

@@ -1,0 +1,8 @@
+"""Simulator diagnostics."""
+
+from __future__ import annotations
+
+
+class SimError(RuntimeError):
+    """Raised on schedule violations, bad memory accesses or runaway
+    execution detected during simulation."""

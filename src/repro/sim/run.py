@@ -1,0 +1,25 @@
+"""One-call execution of a compiled program on the right simulator."""
+
+from __future__ import annotations
+
+from repro.backend.compile import CompiledProgram
+from repro.machine.machine import MachineStyle
+from repro.sim.scalar_sim import ScalarSimulator
+from repro.sim.tta_sim import TTASimulator
+from repro.sim.vliw_sim import VLIWSimulator
+
+
+def run_compiled(compiled: CompiledProgram, check_connectivity: bool = False, max_cycles: int = 500_000_000):
+    """Simulate *compiled* on its machine; returns the style's result object
+    (all results expose ``exit_code`` and ``cycles``)."""
+    style = compiled.machine.style
+    if style is MachineStyle.TTA:
+        sim = TTASimulator(
+            compiled.program, check_connectivity=check_connectivity, max_cycles=max_cycles
+        )
+    elif style is MachineStyle.VLIW:
+        sim = VLIWSimulator(compiled.program, max_cycles=max_cycles)
+    else:
+        sim = ScalarSimulator(compiled.program, max_cycles=max_cycles)
+    sim.preload(compiled.data_init)
+    return sim.run()

@@ -1,0 +1,135 @@
+"""Scalar (MicroBlaze-like) core simulator.
+
+Executes one operation per instruction in program order and charges the
+pipeline stall model of the design point (:class:`ScalarTiming`): extra
+cycles for loads/shifts/multiplies without forwarding, taken-branch
+bubbles, and IMM-prefix words for constants wider than 16 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.abi import MEMORY_SIZE, return_value_reg
+from repro.backend.mop import Imm, MOp, PhysReg
+from repro.backend.program import Program
+from repro.isa.operations import OPS
+from repro.isa.semantics import MASK32, evaluate
+from repro.machine.encoding import immediate_slot_cost
+from repro.sim.errors import SimError
+from repro.sim.memory import DataMemory
+
+
+@dataclass
+class ScalarResult:
+    exit_code: int
+    cycles: int
+    instructions: int
+    loads: int = 0
+    stores: int = 0
+    taken_branches: int = 0
+
+
+@dataclass
+class ScalarSimulator:
+    """Executes a scalar program with a stall-model cost per op."""
+
+    program: Program
+    memory_size: int = MEMORY_SIZE
+    max_cycles: int = 500_000_000
+    trace: bool = False
+    memory: DataMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.memory = DataMemory(self.memory_size)
+        self.regs: dict[PhysReg, int] = {}
+        self.ra = 0
+
+    def preload(self, data_init: list[tuple[int, bytes]]) -> None:
+        for address, blob in data_init:
+            self.memory.preload(address, blob)
+
+    def _read(self, src) -> int:
+        if isinstance(src, Imm):
+            return src.value & MASK32
+        if isinstance(src, PhysReg):
+            return self.regs.get(src, 0)
+        raise SimError(f"unresolved operand {src!r}")
+
+    def run(self) -> ScalarResult:
+        machine = self.program.machine
+        timing = machine.scalar_timing
+        assert timing is not None
+        instrs = self.program.instrs
+        pc = 0
+        cycles = 0
+        executed = 0
+        result = ScalarResult(0, 0, 0)
+        while True:
+            if pc < 0 or pc >= len(instrs):
+                raise SimError(f"PC out of range: {pc}")
+            op: MOp = instrs[pc]
+            executed += 1
+            cost = 1
+            for src in op.srcs:
+                if isinstance(src, Imm):
+                    # IMM-prefix words each cost a fetch cycle.
+                    cost += min(immediate_slot_cost(machine, src.value), 1)
+            name = op.op
+            next_pc = pc + 1
+            if name in ("jump", "cjump", "cjumpz", "call", "ret", "halt"):
+                if name == "halt":
+                    result.exit_code = self.regs.get(return_value_reg(machine), 0)
+                    break
+                taken = True
+                if name in ("cjump", "cjumpz"):
+                    pred = self._read(op.srcs[0])
+                    taken = (pred != 0) if name == "cjump" else (pred == 0)
+                    target = self._read(op.srcs[1])
+                elif name == "ret":
+                    target = self.ra
+                else:
+                    target = self._read(op.srcs[0])
+                if name == "call":
+                    self.ra = pc + 1
+                    self.regs[return_value_reg(machine)] = self.regs.get(
+                        return_value_reg(machine), 0
+                    )
+                if taken:
+                    next_pc = target
+                    cost += timing.call_extra if name in ("call", "ret") else timing.taken_branch_extra
+                else:
+                    cost += timing.untaken_branch_extra
+            elif name in ("ldw", "ldh", "ldq", "ldqu", "ldhu"):
+                address = self._read(op.srcs[0])
+                self.regs[op.dest] = self.memory.load(name, address)
+                result.loads += 1
+                cost += timing.load_extra
+            elif name in ("stw", "sth", "stq"):
+                address = self._read(op.srcs[0])
+                value = self._read(op.srcs[1])
+                self.memory.store(name, address, value)
+                result.stores += 1
+                cost += timing.store_extra
+            elif name == "copy":
+                self.regs[op.dest] = self._read(op.srcs[0])
+            elif name == "getra":
+                self.regs[op.dest] = self.ra
+            elif name == "setra":
+                self.ra = self._read(op.srcs[0])
+            else:
+                operands = [self._read(s) for s in op.srcs]
+                self.regs[op.dest] = evaluate(name, operands)
+                if name == "mul":
+                    cost += timing.mul_extra
+                elif name in ("shl", "shr", "shru"):
+                    cost += timing.shift_extra
+            if name in ("cjump", "cjumpz") and next_pc != pc + 1:
+                result.taken_branches += 1
+            cycles += cost
+            if cycles > self.max_cycles:
+                raise SimError("cycle budget exceeded (runaway program?)")
+            pc = next_pc
+        result.cycles = cycles
+        result.instructions = executed
+        return result

@@ -1,0 +1,280 @@
+"""Transport-triggered (TTA) simulator.
+
+Executes move code with the semi-virtual time-latching FU model of the
+paper's Fig. 3: transporting an operand to a trigger port starts the
+operation; the result is readable from the unit's result register once
+the latency has elapsed and until the next operation on the same unit
+overwrites it.
+
+The simulator doubles as a schedule verifier:
+
+* reading a result before it is due raises :class:`SimError`;
+* two moves on one bus in one instruction raise;
+* register-file port over-subscription raises;
+* a move over a bus that does not connect its endpoints raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.abi import MEMORY_SIZE, return_value_reg
+from repro.backend.program import Move, Program, TTAInstr
+from repro.isa.operations import OPS, OpKind
+from repro.isa.semantics import MASK32, evaluate
+from repro.sim.errors import SimError
+from repro.sim.memory import DataMemory
+
+
+@dataclass
+class _FU:
+    """One function unit: operand latch plus the result register.
+
+    Semi-virtual time latching: a result becomes visible in the result
+    register at its due cycle and stays readable until a later-due result
+    lands, so several operations can be in flight (e.g. a 3-cycle mul
+    followed two cycles later by a 2-cycle shift).
+    """
+
+    name: str
+    o1: int = 0
+    result: int = 0
+    has_result: bool = False
+    #: in-flight results as (due_cycle, value), strictly increasing due
+    pending: list = field(default_factory=list)
+
+    def commit(self, cycle: int) -> None:
+        while self.pending and self.pending[0][0] <= cycle:
+            _, value = self.pending.pop(0)
+            self.result = value
+            self.has_result = True
+
+    def read(self, cycle: int):
+        self.commit(cycle)
+        if not self.has_result:
+            if self.pending:
+                return None  # read before the first result is due
+            return None
+        return self.result
+
+    def push(self, due: int, value: int) -> None:
+        if self.pending and due <= self.pending[-1][0]:
+            raise ValueError(
+                f"{self.name}: result due {due} not after pending {self.pending[-1][0]}"
+            )
+        self.pending.append((due, value))
+
+
+@dataclass
+class TTAResult:
+    exit_code: int
+    cycles: int
+    moves: int = 0
+    triggers: int = 0
+    rf_reads: int = 0
+    rf_writes: int = 0
+    bypass_reads: int = 0
+
+
+@dataclass
+class TTASimulator:
+    program: Program
+    memory_size: int = MEMORY_SIZE
+    max_cycles: int = 500_000_000
+    #: verify bus connectivity of every executed move (slower; tests use it)
+    check_connectivity: bool = False
+    memory: DataMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        machine = self.program.machine
+        self.memory = DataMemory(self.memory_size)
+        self.rfs: dict[str, list[int]] = {
+            rf.name: [0] * rf.size for rf in machine.register_files
+        }
+        self.fus: dict[str, _FU] = {fu.name: _FU(fu.name) for fu in machine.all_units}
+        self.ra = 0
+        self.buses = {bus.index: bus for bus in machine.buses}
+
+    def preload(self, data_init: list[tuple[int, bytes]]) -> None:
+        for address, blob in data_init:
+            self.memory.preload(address, blob)
+
+    # ------------------------------------------------------------------
+
+    def _sample(self, move: Move, cycle: int, stats: TTAResult) -> int:
+        kind = move.src[0]
+        if kind == "imm":
+            value = move.src[1]
+            if not isinstance(value, int):
+                raise SimError(f"unlinked immediate {value!r}")
+            return value & MASK32
+        if kind == "rf":
+            _, rf, idx = move.src
+            stats.rf_reads += 1
+            return self.rfs[rf][idx]
+        if kind == "fu":
+            fu = self.fus[move.src[1]]
+            value = fu.read(cycle)
+            if value is None:
+                raise SimError(
+                    f"schedule violation: {fu.name} result read at {cycle} "
+                    f"before any result is available (pending: {fu.pending})"
+                )
+            stats.bypass_reads += 1
+            return value
+        raise SimError(f"bad move source {move.src!r}")
+
+    def _endpoint_of_src(self, move: Move) -> str:
+        kind = move.src[0]
+        if kind == "imm":
+            return "IMM"
+        if kind == "rf":
+            return f"{move.src[1]}.read"
+        return f"{move.src[1]}.r"
+
+    def _endpoint_of_dst(self, move: Move) -> str:
+        if move.dst[0] == "rf":
+            return f"{move.dst[1]}.write"
+        _, fu, port, _ = move.dst
+        return f"{fu}.{port}"
+
+    def run(self) -> TTAResult:
+        machine = self.program.machine
+        jl = machine.jump_latency
+        instrs = self.program.instrs
+        rv = return_value_reg(machine)
+        stats = TTAResult(0, 0)
+        pc = 0
+        cycle = 0
+        redirect: tuple[int, int] | None = None
+        read_limits = {rf.name: rf.read_ports for rf in machine.register_files}
+        write_limits = {rf.name: rf.write_ports for rf in machine.register_files}
+
+        while True:
+            if redirect is not None and cycle == redirect[0]:
+                pc = redirect[1]
+                redirect = None
+            if pc < 0 or pc >= len(instrs):
+                raise SimError(f"PC out of range: {pc}")
+            instr: TTAInstr = instrs[pc]
+
+            # --- structural checks -------------------------------------
+            busy: set[int] = set()
+            reads: dict[str, int] = {}
+            writes: dict[str, int] = {}
+            for move in instr.moves:
+                if move.bus in busy:
+                    raise SimError(f"bus {move.bus} used twice at pc={pc}")
+                busy.add(move.bus)
+                for _ in range(move.extra_slots):
+                    pass  # extra slots were reserved at schedule time
+                if move.src[0] == "rf":
+                    reads[move.src[1]] = reads.get(move.src[1], 0) + 1
+                if move.dst[0] == "rf":
+                    writes[move.dst[1]] = writes.get(move.dst[1], 0) + 1
+                if self.check_connectivity:
+                    bus = self.buses[move.bus]
+                    if not bus.connects(self._endpoint_of_src(move), self._endpoint_of_dst(move)):
+                        raise SimError(f"move {move!r} not routable on bus {move.bus}")
+            for rf, count in reads.items():
+                if count > read_limits[rf]:
+                    raise SimError(f"{rf} read ports oversubscribed at pc={pc}")
+            for rf, count in writes.items():
+                if count > write_limits[rf]:
+                    raise SimError(f"{rf} write ports oversubscribed at pc={pc}")
+
+            # --- phase 1: sample all sources ----------------------------
+            sampled = [(move, self._sample(move, cycle, stats)) for move in instr.moves]
+            stats.moves += len(sampled)
+
+            # --- phase 2: operand-port writes ---------------------------
+            triggers: list[tuple[str, str, int]] = []
+            rf_writes: list[tuple[str, int, int]] = []
+            for move, value in sampled:
+                if move.dst[0] == "rf":
+                    rf_writes.append((move.dst[1], move.dst[2], value))
+                else:
+                    _, fu_name, port, opcode = move.dst
+                    if port == "o1":
+                        self.fus[fu_name].o1 = value
+                    else:
+                        triggers.append((fu_name, opcode, value))
+
+            # --- phase 3: triggers ---------------------------------------
+            halted = False
+            for fu_name, opcode, value in triggers:
+                stats.triggers += 1
+                fu = self.fus[fu_name]
+                if opcode is None:
+                    raise SimError(f"trigger move without opcode on {fu_name}")
+                halted |= self._execute(
+                    fu, opcode, value, cycle, pc, jl, stats
+                )
+                if self._pending_redirect is not None:
+                    if redirect is not None:
+                        raise SimError("overlapping control transfers")
+                    redirect = self._pending_redirect
+                    self._pending_redirect = None
+
+            # --- phase 4: RF write commit ---------------------------------
+            for rf, idx, value in rf_writes:
+                self.rfs[rf][idx] = value
+                stats.rf_writes += 1
+
+            if halted:
+                stats.exit_code = self.rfs[rv.rf][rv.idx]
+                break
+            cycle += 1
+            pc += 1
+            if cycle > self.max_cycles:
+                raise SimError("cycle budget exceeded (runaway program?)")
+
+        stats.cycles = cycle + 1
+        return stats
+
+    _pending_redirect: tuple[int, int] | None = None
+
+    def _execute(
+        self,
+        fu: _FU,
+        opcode: str,
+        trigger_value: int,
+        cycle: int,
+        pc: int,
+        jl: int,
+        stats: TTAResult,
+    ) -> bool:
+        """Execute *opcode* on *fu*; returns True on halt."""
+        if opcode == "halt":
+            return True
+        if opcode == "getra":
+            fu.push(cycle + 1, self.ra)
+            return False
+        if opcode == "setra":
+            self.ra = trigger_value
+            return False
+        if opcode == "jump":
+            self._pending_redirect = (cycle + jl + 1, trigger_value)
+            return False
+        if opcode == "call":
+            self.ra = pc + jl + 1
+            self._pending_redirect = (cycle + jl + 1, trigger_value)
+            return False
+        if opcode == "ret":
+            self._pending_redirect = (cycle + jl + 1, self.ra)
+            return False
+        if opcode in ("cjump", "cjumpz"):
+            taken = (trigger_value != 0) if opcode == "cjump" else (trigger_value == 0)
+            if taken:
+                self._pending_redirect = (cycle + jl + 1, fu.o1)
+            return False
+        spec = OPS[opcode]
+        if spec.kind is OpKind.LSU:
+            if spec.writes_mem:
+                self.memory.store(opcode, trigger_value, fu.o1)
+                return False
+            fu.push(cycle + spec.latency, self.memory.load(opcode, trigger_value))
+            return False
+        operands = (trigger_value, fu.o1) if spec.operands == 2 else (trigger_value,)
+        fu.push(cycle + spec.latency, evaluate(opcode, operands))
+        return False

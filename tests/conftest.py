@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import build_machine, preset_names
+
+#: machines that exercise every scheduler/simulator style, kept small for
+#: tests that sweep (the full 13-point sweep lives in the benchmarks)
+CORE_MACHINES = ("mblaze-3", "mblaze-5", "m-tta-1", "m-vliw-2", "m-tta-2", "bm-tta-2", "m-vliw-3", "p-tta-3")
+
+
+@pytest.fixture(scope="session")
+def all_machine_names():
+    return preset_names()
+
+
+@pytest.fixture(scope="session", params=CORE_MACHINES)
+def core_machine(request):
+    return build_machine(request.param)

@@ -1,0 +1,49 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text("int main(void){ int i; int s=0; for(i=0;i<6;i++) s+=i; return s-15; }")
+    return str(path)
+
+
+class TestCLI:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "m-tta-2" in out and "MHz" in out
+
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        assert "sha" in capsys.readouterr().out
+
+    def test_run_success(self, minic_file, capsys):
+        assert main(["run", minic_file, "-m", "m-tta-1", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "exit code : 0" in out
+        assert "cycles" in out
+
+    def test_run_nonzero_exit(self, tmp_path, capsys):
+        path = tmp_path / "fail.mc"
+        path.write_text("int main(void){ return 7; }")
+        assert main(["run", str(path), "-m", "mblaze-3"]) == 1
+
+    def test_asm(self, minic_file, capsys):
+        assert main(["asm", minic_file, "-m", "m-tta-2", "--count", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out and "->" in out
+
+    def test_synth(self, capsys):
+        assert main(["synth", "m-vliw-3"]) == 0
+        out = capsys.readouterr().out
+        assert "core LUTs" in out
+
+    def test_report_rejects_unknown_kernel(self, capsys):
+        assert main(["report", "--kernels", "nope"]) == 2

@@ -1,0 +1,87 @@
+"""Tests for the assembly printer and the compression extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.backend.asmprint import format_program, program_statistics
+from repro.compress import compress_program, per_slot_compression
+
+SRC = """
+int poly(int x){ return ((x * 3 + 1) * x - 7) & 0xFFFF; }
+int main(void){
+    int i; int acc = 0;
+    for (i = 0; i < 12; i++) acc ^= poly(i);
+    return acc & 0xFF;
+}
+"""
+
+
+@pytest.fixture(scope="module", params=["mblaze-3", "m-vliw-2", "m-tta-2"])
+def compiled(request):
+    return compile_for_machine(compile_source(SRC), build_machine(request.param))
+
+
+class TestAsmPrinter:
+    def test_listing_covers_whole_program(self, compiled):
+        text = format_program(compiled.program)
+        # one line per instruction plus label lines
+        body_lines = [l for l in text.splitlines() if not l.endswith(":")]
+        assert len(body_lines) == len(compiled.program.instrs)
+
+    def test_labels_present(self, compiled):
+        text = format_program(compiled.program)
+        assert "main:" in text
+        assert "_start:" in text
+
+    def test_window(self, compiled):
+        text = format_program(compiled.program, start=0, count=3)
+        body_lines = [l for l in text.splitlines() if not l.endswith(":")]
+        assert len(body_lines) == 3
+
+    def test_statistics(self, compiled):
+        stats = program_statistics(compiled.program)
+        assert stats["instructions"] > 0
+        if compiled.program.style == "tta":
+            assert 0.0 < stats["bus_fill"] <= 1.0
+        elif compiled.program.style == "vliw":
+            assert 0.0 < stats["slot_fill"] <= 1.0
+
+    def test_tta_moves_render(self):
+        program = compile_for_machine(
+            compile_source(SRC), build_machine("m-tta-2")
+        ).program
+        text = format_program(program)
+        assert "->" in text
+        assert ".t" in text  # trigger moves carry opcodes
+
+
+class TestCompression:
+    def test_full_dictionary_is_lossless_accounting(self, compiled):
+        report = compress_program(compiled.program)
+        assert report.entries <= len(compiled.program.instrs)
+        assert report.index_bits + report.dictionary_bits == report.total_bits
+        assert report.original_bits > 0
+
+    def test_per_slot_beats_or_matches_nothing_burned(self, compiled):
+        report = per_slot_compression(compiled.program)
+        assert report.entries > 0
+        assert report.total_bits > 0
+
+    def test_compression_helps_wide_tta_words(self):
+        program = compile_for_machine(
+            compile_source(SRC), build_machine("m-tta-3")
+        ).program
+        full = compress_program(program)
+        slot = per_slot_compression(program)
+        assert min(full.ratio, slot.ratio) < 1.0
+
+    def test_nop_heavy_programs_compress_well(self):
+        # delay-slot nops dominate small TTA programs; the dictionary
+        # stores the nop word once
+        program = compile_for_machine(
+            compile_source("int main(void){ return 3; }"), build_machine("m-tta-2")
+        ).program
+        report = compress_program(program)
+        assert report.ratio < 0.9

@@ -1,0 +1,115 @@
+"""Evaluation-harness tests on a reduced sweep (two fast kernels, all 13
+machines), asserting the paper's comparative shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import figure5, figure6, format_table, run_sweep, table2, table3, table4
+from repro.machine import preset_names
+
+#: fast kernels keep the full-13-machine sweep test-sized
+FAST = ("mips", "motion")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(kernels=FAST)
+
+
+class TestSweep:
+    def test_every_pair_measured_and_correct(self, sweep):
+        assert len(sweep) == 13 * len(FAST)
+        for result in sweep.values():
+            assert result.exit_code == 0
+            assert result.cycles > 0
+            assert result.program_bits > 0
+
+    def test_cached(self, sweep):
+        again = run_sweep(kernels=FAST)
+        for key in sweep:
+            assert again[key] is sweep[key]
+
+
+class TestTable2Shape(object):
+    def test_rows_cover_all_machines(self, sweep):
+        rows = table2(FAST)
+        assert [r["machine"] for r in rows] == list(preset_names())
+
+    def test_monolithic_tta_program_size_overhead(self, sweep):
+        rows = {r["machine"]: r for r in table2(FAST)}
+        # Paper: m-tta-2 programs are 1.2x-1.5x m-vliw-2's.
+        for kernel in FAST:
+            rel = rows["m-tta-2"][kernel]
+            assert 1.0 < rel < 2.0, (kernel, rel)
+
+    def test_bus_merging_shrinks_images(self, sweep):
+        rows = {r["machine"]: r for r in table2(FAST)}
+        for kernel in FAST:
+            assert rows["bm-tta-2"][kernel] < rows["p-tta-2"][kernel]
+            assert rows["bm-tta-3"][kernel] < rows["p-tta-3"][kernel]
+
+    def test_vliw_split_rf_near_baseline(self, sweep):
+        rows = {r["machine"]: r for r in table2(FAST)}
+        for kernel in FAST:
+            assert 0.9 < rows["p-vliw-2"][kernel] < 1.2
+
+
+class TestTable4Shape:
+    def test_tta_beats_vliw_cycles(self, sweep):
+        rows = {r["machine"]: r for r in table4(FAST)}
+        for kernel in FAST:
+            assert rows["m-tta-2"][kernel] < 1.0, kernel
+            assert rows["m-tta-3"][kernel] < 1.0, kernel
+
+    def test_mblaze5_relative_band(self, sweep):
+        rows = {r["machine"]: r for r in table4(FAST)}
+        for kernel in FAST:
+            assert 0.7 < rows["mblaze-5"][kernel] < 1.0
+
+    def test_partitioned_vliw_close_to_monolithic(self, sweep):
+        rows = {r["machine"]: r for r in table4(FAST)}
+        for kernel in FAST:
+            assert 0.9 < rows["p-vliw-2"][kernel] < 1.2
+
+
+class TestFigures:
+    def test_figure5_panels(self, sweep):
+        panels = figure5(FAST)
+        assert set(panels) == {"mblaze-3", "m-vliw-2", "m-vliw-3"}
+        for baseline, panel in panels.items():
+            assert panel[baseline] == {k: 1.0 for k in FAST}
+
+    def test_figure5_tta_runtime_wins(self, sweep):
+        panels = figure5(FAST)
+        for kernel in FAST:
+            assert panels["m-vliw-2"]["m-tta-2"][kernel] < 1.0
+
+    def test_figure6_points(self, sweep):
+        points = figure6(FAST)
+        assert set(points) == set(preset_names())
+        assert points["m-tta-1"]["runtime"] == 1.0
+        # the monolithic 3-issue VLIW must be the area outlier
+        assert points["m-vliw-3"]["slices"] == max(p["slices"] for p in points.values())
+
+    def test_figure6_tta_efficiency(self, sweep):
+        # Paper Fig. 6: the 2-issue TTA dominates the 2-issue VLIW
+        # (faster AND smaller).
+        points = figure6(FAST)
+        assert points["m-tta-2"]["runtime"] < points["m-vliw-2"]["runtime"]
+        assert points["m-tta-2"]["slices"] < points["m-vliw-2"]["slices"]
+
+
+class TestRendering:
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "22" in lines[4]
+
+    def test_table3_is_sweep_free(self):
+        rows = table3()
+        assert len(rows) == 13
+        by_name = {r["machine"]: r for r in rows}
+        assert by_name["m-vliw-2"]["rf_read_ports"] == 4
+        assert by_name["m-tta-2"]["fmax_rel"] > 1.0

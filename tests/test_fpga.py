@@ -1,0 +1,136 @@
+"""FPGA area/timing model tests: structure, monotonicity and the
+paper-shape relationships of Table III."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paper_data import PAPER_SYNTHESIS
+from repro.fpga import estimate_fmax, estimate_resources, synthesize
+from repro.fpga.resources import ic_luts, rf_luts
+from repro.machine import RegisterFile, build_machine, preset_names
+
+
+class TestRFModel:
+    def test_single_port_32_deep(self):
+        luts, ram = rf_luts(RegisterFile("r", 32, 1, 1))
+        assert luts == ram == 24  # one RAM32M-packed bank
+
+    def test_read_ports_replicate(self):
+        one, _ = rf_luts(RegisterFile("r", 32, 1, 1))
+        two, _ = rf_luts(RegisterFile("r", 32, 2, 1))
+        assert two == 2 * one
+
+    def test_multi_write_superlinear(self):
+        simple, _ = rf_luts(RegisterFile("r", 64, 1, 1))
+        vliw, _ = rf_luts(RegisterFile("r", 64, 4, 2))
+        assert vliw > 8 * simple  # replication + LVT + muxing
+
+    def test_monotone_in_every_port_dimension(self):
+        base, _ = rf_luts(RegisterFile("r", 64, 2, 2))
+        more_reads, _ = rf_luts(RegisterFile("r", 64, 3, 2))
+        more_writes, _ = rf_luts(RegisterFile("r", 64, 2, 3))
+        deeper, _ = rf_luts(RegisterFile("r", 96, 2, 2))
+        assert more_reads > base
+        assert more_writes > base
+        assert deeper > base
+
+    def test_paper_rf_points(self):
+        # the model was calibrated on these; they must stay close
+        cases = {
+            "m-tta-1": 24,
+            "m-tta-2": 44,
+            "p-tta-2": 48,
+            "p-vliw-3": 144,
+            "m-tta-3": 210,
+            "p-tta-3": 72,
+        }
+        for name, paper in cases.items():
+            machine = build_machine(name)
+            ours = sum(rf_luts(rf)[0] for rf in machine.register_files)
+            assert abs(ours - paper) / paper < 0.15, (name, ours, paper)
+
+
+class TestICModel:
+    def test_bus_merging_cheaper(self):
+        assert ic_luts(build_machine("bm-tta-2")) < ic_luts(build_machine("p-tta-2"))
+
+    def test_more_rfs_more_muxing(self):
+        assert ic_luts(build_machine("p-tta-2")) > ic_luts(build_machine("m-tta-2"))
+
+
+class TestTiming:
+    def test_monolithic_vliw3_is_slowest(self):
+        fmaxes = {name: estimate_fmax(build_machine(name)) for name in preset_names()}
+        assert min(fmaxes, key=fmaxes.get) == "m-vliw-3"
+
+    def test_tta1_fastest(self):
+        fmaxes = {name: estimate_fmax(build_machine(name)) for name in preset_names()}
+        assert max(fmaxes, key=fmaxes.get) == "m-tta-1"
+
+    def test_partitioning_recovers_fmax(self):
+        assert estimate_fmax(build_machine("p-vliw-3")) > estimate_fmax(
+            build_machine("m-vliw-3")
+        )
+
+    def test_fmax_within_band_of_paper(self):
+        for name in preset_names():
+            paper = PAPER_SYNTHESIS[name][0]
+            ours = estimate_fmax(build_machine(name))
+            assert abs(ours - paper) / paper < 0.12, (name, ours, paper)
+
+
+class TestTableIIIShape:
+    """The structural claims of the paper's synthesis section."""
+
+    def test_vliw_rf_blowup_2_issue(self):
+        # paper: m-vliw-2 needs 6-14x the RF logic of the TTA variants
+        vliw = estimate_resources(build_machine("m-vliw-2")).rf_luts
+        for other in ("m-tta-2", "p-tta-2", "bm-tta-2"):
+            tta = estimate_resources(build_machine(other)).rf_luts
+            assert vliw / tta > 5, (other, vliw, tta)
+
+    def test_vliw_rf_blowup_3_issue(self):
+        vliw = estimate_resources(build_machine("m-vliw-3")).rf_luts
+        for other in ("p-tta-3", "bm-tta-3"):
+            tta = estimate_resources(build_machine(other)).rf_luts
+            assert vliw / tta > 9
+
+    def test_tta_core_smaller_than_monolithic_vliw(self):
+        # paper: 2-issue TTA needs ~67-80% of the VLIW core LUTs
+        for pair, band in (
+            (("m-tta-2", "m-vliw-2"), (0.60, 0.90)),
+            (("m-tta-3", "m-vliw-3"), (0.45, 0.75)),
+        ):
+            tta = estimate_resources(build_machine(pair[0])).core_luts
+            vliw = estimate_resources(build_machine(pair[1])).core_luts
+            assert band[0] < tta / vliw < band[1], (pair, tta / vliw)
+
+    def test_partitioned_points_cluster(self):
+        # paper: with split RFs, VLIW and TTA land close together
+        p_vliw = estimate_resources(build_machine("p-vliw-2")).core_luts
+        p_tta = estimate_resources(build_machine("p-tta-2")).core_luts
+        assert 0.8 < p_tta / p_vliw < 1.2
+
+    def test_all_cores_within_30pct_of_paper(self):
+        for name in preset_names():
+            paper = PAPER_SYNTHESIS[name][1]
+            ours = estimate_resources(build_machine(name)).core_luts
+            assert abs(ours - paper) / paper < 0.30, (name, ours, paper)
+
+    def test_three_dsp_blocks_everywhere(self):
+        for name in preset_names():
+            assert estimate_resources(build_machine(name)).dsps == 3, name
+
+
+class TestReport:
+    def test_synthesize_bundles_everything(self):
+        report = synthesize(build_machine("m-tta-2"))
+        assert report.fmax_mhz > 100
+        assert report.resources.core_luts > 0
+        one_second_of_cycles = int(report.fmax_mhz * 1e6)
+        assert report.runtime_seconds(one_second_of_cycles) == pytest.approx(1.0, rel=0.01)
+
+    def test_slices_derived(self):
+        report = synthesize(build_machine("m-vliw-3"))
+        assert report.resources.slices >= report.resources.core_luts // 4

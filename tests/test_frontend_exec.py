@@ -1,0 +1,271 @@
+"""MiniC semantics tests: compile snippets and check interpreter results
+against values computed directly in Python."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import CompileError, compile_source
+from repro.ir import Interpreter
+
+
+def run(src: str) -> int:
+    return Interpreter(compile_source(src)).run()
+
+
+class TestArithmetic:
+    def test_signed_division_truncates_toward_zero(self):
+        assert run("int main(void){ return -7 / 2 + 10; }") == 10 - 3
+
+    def test_signed_modulo_sign_of_dividend(self):
+        assert run("int main(void){ return (-7 % 3) + 5; }") == 4
+
+    def test_unsigned_division(self):
+        assert run("int main(void){ unsigned a = 0xFFFFFFFF; return (int)(a / 16) == 0x0FFFFFFF; }") == 1
+
+    def test_division_by_zero_defined(self):
+        # The software divider returns all-ones, like many soft cores.
+        assert run("int main(void){ unsigned a = 5; unsigned b = 0; return (a / b) == 0xFFFFFFFF; }") == 1
+
+    def test_shift_semantics(self):
+        assert run("int main(void){ int x = -8; return x >> 2; }") % 2**32 == (-2) % 2**32
+        assert run("int main(void){ unsigned x = 0x80000000; return (int)(x >> 31); }") == 1
+
+    def test_mixed_signedness_comparison(self):
+        # unsigned comparison wins: -1 as unsigned is huge
+        assert run("int main(void){ unsigned a = 1; int b = -1; return a < b; }") == 1
+
+    def test_char_wraparound(self):
+        assert run("int main(void){ char c = 127; c = c + 1; return c == -128; }") == 1
+
+    def test_unsigned_char_wraps(self):
+        assert run("int main(void){ unsigned char c = 255; c = c + 1; return c; }") == 0
+
+    def test_short_truncation_on_store(self):
+        assert (
+            run("int main(void){ short s = 0x12345; return s == 0x2345; }") == 1
+        )
+
+    def test_integer_promotion_in_arith(self):
+        assert run("int main(void){ char a = 100; char b = 100; return a + b; }") == 200
+
+
+class TestControlFlow:
+    def test_short_circuit_and(self):
+        src = """
+        int g;
+        int bump(void){ g = g + 1; return 0; }
+        int main(void){ g = 0; if (0 && bump()) return -1; return g; }
+        """
+        assert run(src) == 0
+
+    def test_short_circuit_or(self):
+        src = """
+        int g;
+        int bump(void){ g = g + 1; return 1; }
+        int main(void){ g = 0; if (1 || bump()) return g; return -1; }
+        """
+        assert run(src) == 0
+
+    def test_break_continue(self):
+        src = """
+        int main(void){
+            int i; int s = 0;
+            for (i = 0; i < 100; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert run(src) == 1 + 3 + 5 + 7 + 9
+
+    def test_do_while_runs_once(self):
+        assert run("int main(void){ int n = 0; do { n++; } while (0); return n; }") == 1
+
+    def test_ternary(self):
+        assert run("int main(void){ int x = 5; return x > 3 ? 10 : 20; }") == 10
+
+    def test_nested_loops(self):
+        src = """
+        int main(void){
+            int i; int j; int c = 0;
+            for (i = 0; i < 5; i++)
+                for (j = 0; j <= i; j++)
+                    c++;
+            return c;
+        }
+        """
+        assert run(src) == 15
+
+
+class TestMemoryAndPointers:
+    def test_pointer_arithmetic_scaling(self):
+        src = """
+        int arr[5] = {10, 20, 30, 40, 50};
+        int main(void){ int *p = arr; p = p + 2; return *p + *(p + 1); }
+        """
+        assert run(src) == 70
+
+    def test_pointer_difference(self):
+        src = """
+        int arr[10];
+        int main(void){ int *a = &arr[7]; int *b = &arr[2]; return a - b; }
+        """
+        assert run(src) == 5
+
+    def test_address_of_local(self):
+        src = """
+        void bump(int *p){ *p = *p + 5; }
+        int main(void){ int x = 10; bump(&x); return x; }
+        """
+        assert run(src) == 15
+
+    def test_2d_array(self):
+        src = """
+        int m[3][4];
+        int main(void){
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            return m[2][3] + m[0][1];
+        }
+        """
+        assert run(src) == 24
+
+    def test_local_array_initializer(self):
+        src = """
+        int main(void){
+            int a[4] = {1, 2, 3};
+            return a[0] + a[1] + a[2] + a[3];  /* trailing element zeroed */
+        }
+        """
+        assert run(src) == 6
+
+    def test_string_literal_and_char_access(self):
+        src = """
+        int main(void){
+            char *s = "AB";
+            return s[0] + s[1] + s[2];
+        }
+        """
+        assert run(src) == 65 + 66
+
+    def test_global_string_array(self):
+        src = """
+        char word[] = "hello";
+        int main(void){
+            int i; int n = 0;
+            for (i = 0; word[i]; i++) n++;
+            return n;
+        }
+        """
+        assert run(src) == 5
+
+    def test_byte_stores(self):
+        src = """
+        unsigned char buf[4];
+        int main(void){
+            buf[0] = 0x11; buf[1] = 0x22; buf[2] = 0x33; buf[3] = 0x44;
+            unsigned *w = (unsigned *)buf;
+            return *w == 0x44332211;
+        }
+        """
+        assert run(src) == 1
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = """
+        int fact(int n){ if (n < 2) return 1; return n * fact(n - 1); }
+        int main(void){ return fact(6); }
+        """
+        assert run(src) == 720
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n){ if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n){ if (n == 0) return 0; return is_even(n - 1); }
+        int main(void){ return is_even(10) * 2 + is_odd(7); }
+        """
+        assert run(src) == 3
+
+    def test_more_than_four_args(self):
+        src = """
+        int sum6(int a, int b, int c, int d, int e, int f){
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        int main(void){ return sum6(1, 2, 3, 4, 5, 6); }
+        """
+        assert run(src) == 1 + 4 + 9 + 16 + 25 + 36
+
+    def test_void_function(self):
+        src = """
+        int g;
+        void set(int v){ g = v; }
+        int main(void){ set(42); return g; }
+        """
+        assert run(src) == 42
+
+    def test_argument_evaluation(self):
+        src = """
+        int add3(int a, int b, int c){ return a + b * 10 + c * 100; }
+        int main(void){ return add3(1, 2, 3); }
+        """
+        assert run(src) == 321
+
+
+class TestGlobals:
+    def test_initialized_scalar_and_expr(self):
+        assert run("int g = 3 * 7 + 1; int main(void){ return g; }") == 22
+
+    def test_negative_initializer(self):
+        assert run("int g = -5; int main(void){ return g + 10; }") == 5
+
+    def test_2d_initializer(self):
+        src = """
+        int m[2][3] = { {1, 2, 3}, {4, 5} };
+        int main(void){ return m[0][2] + m[1][1] + m[1][2]; }
+        """
+        assert run(src) == 8
+
+    def test_pointer_global(self):
+        src = """
+        int data[4] = {9, 8, 7, 6};
+        int *p = data;
+        int main(void){ return p[1]; }
+        """
+        assert run(src) == 8
+
+
+class TestSemaErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "int main(void){ return x; }",
+            "int main(void){ int a; int a; return 0; }",
+            "int main(void){ break; }",
+            "int f(int a); int f(unsigned a){ return 0; } int main(void){ return 0; }",
+            "int main(void){ return f(1); }",
+            "int f(int a){ return a; } int main(void){ return f(); }",
+            "void v(void){} int main(void){ int x = 1; x = v(); return 0; }",
+            "int main(void){ int a[3]; a = 0; return 0; }",
+            "int g(void){ } int main(void){ return 0; }",  # missing main? no: missing nothing; g defined
+        ],
+    )
+    def test_rejects(self, src):
+        if "int g(void){ }" in src:
+            pytest.skip("falls through with implicit return; allowed")
+        with pytest.raises(CompileError):
+            compile_source(src)
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int helper(void){ return 1; }")
+
+    def test_undefined_function_body(self):
+        with pytest.raises(CompileError):
+            compile_source("int ghost(int x); int main(void){ return ghost(1); }")

@@ -1,0 +1,198 @@
+"""IR construction, liveness, module layout and interpreter tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Const,
+    Function,
+    GlobalVar,
+    IRBuilder,
+    InterpError,
+    Interpreter,
+    Module,
+    compute_liveness,
+)
+from repro.ir.instructions import BinOp, Copy, Jump, Ret, VReg
+
+
+def make_module(build):
+    """Helper: build a single-function module via a callback(fn, builder)."""
+    module = Module()
+    fn = Function("main", 0)
+    module.add_function(fn)
+    b = IRBuilder(fn)
+    b.set_block(fn.new_block("entry"))
+    build(fn, b)
+    module.verify()
+    return module
+
+
+class TestFunctionStructure:
+    def test_verify_requires_terminator(self):
+        fn = Function("f", 0)
+        fn.new_block("entry")
+        with pytest.raises(ValueError):
+            fn.verify()
+
+    def test_verify_rejects_unknown_successor(self):
+        fn = Function("f", 0)
+        block = fn.new_block("entry")
+        block.terminator = Jump("nowhere")
+        with pytest.raises(ValueError):
+            fn.verify()
+
+    def test_duplicate_frame_slot(self):
+        fn = Function("f", 0)
+        fn.add_frame_slot("a", 4)
+        with pytest.raises(ValueError):
+            fn.add_frame_slot("a", 8)
+
+    def test_append_after_terminator(self):
+        block = BasicBlock("b")
+        block.terminator = Ret(None)
+        with pytest.raises(ValueError):
+            block.append(Copy(VReg(0), Const(1)))
+
+    def test_predecessors(self):
+        fn = Function("f", 0)
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.terminator = Jump(b.name)
+        b.terminator = Ret(None)
+        assert fn.predecessors()[b.name] == [a.name]
+
+
+class TestLiveness:
+    def test_loop_carried_value_is_live(self):
+        fn = Function("f", 0)
+        b = IRBuilder(fn)
+        entry = fn.new_block("entry")
+        loop = fn.new_block("loop")
+        done = fn.new_block("done")
+        b.set_block(entry)
+        acc = b.const(0)
+        b.jump(loop)
+        b.set_block(loop)
+        b.binop("add", acc, Const(1), dest=acc)
+        cond = b.binop("gt", Const(10), acc)
+        b.cjump(cond, loop, done)
+        b.set_block(done)
+        b.ret(acc)
+        live_in, live_out = compute_liveness(fn)
+        assert acc in live_out[loop.name]
+        assert acc in live_in[loop.name]
+        assert acc in live_out[entry.name]
+        assert cond not in live_out[loop.name]
+
+    def test_dead_value_not_live(self):
+        fn = Function("f", 0)
+        b = IRBuilder(fn)
+        entry = fn.new_block("entry")
+        b.set_block(entry)
+        dead = b.const(42)
+        b.ret(Const(0))
+        _, live_out = compute_liveness(fn)
+        assert dead not in live_out[entry.name]
+
+
+class TestModuleLayout:
+    def test_layout_is_deterministic_and_aligned(self):
+        module = Module()
+        module.add_global(GlobalVar("a", 3, align=1))
+        module.add_global(GlobalVar("b", 8, align=4))
+        table = module.layout_globals(base=0x100)
+        assert table["a"] == 0x100
+        assert table["b"] == 0x104  # aligned past a
+        assert module.data_end() == 0x10C
+
+    def test_duplicate_global_rejected(self):
+        module = Module()
+        module.add_global(GlobalVar("a", 4))
+        with pytest.raises(ValueError):
+            module.add_global(GlobalVar("a", 4))
+
+    def test_oversized_init_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalVar("x", 2, init=b"toolong")
+
+    def test_missing_entry_rejected(self):
+        module = Module()
+        with pytest.raises(ValueError):
+            module.verify()
+
+
+class TestInterpreter:
+    def test_memory_init_from_globals(self):
+        module = Module()
+        module.add_global(GlobalVar("blob", 4, init=b"\x01\x02\x03\x04"))
+        fn = Function("main", 0)
+        module.add_function(fn)
+        b = IRBuilder(fn)
+        b.set_block(fn.new_block("entry"))
+        from repro.ir.instructions import Sym
+
+        value = b.load("ldw", Sym("blob"))
+        b.ret(value)
+        interp = Interpreter(module)
+        assert interp.run() == 0x04030201
+
+    def test_typed_loads(self):
+        module = Module()
+        module.add_global(GlobalVar("blob", 4, init=b"\xff\x80\x00\x00"))
+        fn = Function("main", 0)
+        module.add_function(fn)
+        b = IRBuilder(fn)
+        b.set_block(fn.new_block("entry"))
+        from repro.ir.instructions import Sym
+
+        q = b.load("ldq", Sym("blob"))  # sign-extended 0xFF
+        qu = b.load("ldqu", Sym("blob"))
+        total = b.binop("sub", q, qu)
+        b.ret(total)
+        assert Interpreter(module).run() == (0xFFFFFFFF - 0xFF + 0x100000000) % 2**32
+
+    def test_undefined_function_call(self):
+        def build(fn, b):
+            b.call("nope", [])
+            b.ret(Const(0))
+
+        module = make_module(build)
+        with pytest.raises(InterpError):
+            Interpreter(module).run()
+
+    def test_step_budget(self):
+        def build(fn, b):
+            loop = fn.new_block("loop")
+            b.jump(loop)
+            b.set_block(loop)
+            b.jump(loop)
+
+        module = make_module(build)
+        interp = Interpreter(module, max_steps=1000)
+        with pytest.raises(InterpError):
+            interp.run()
+
+    def test_out_of_range_memory(self):
+        def build(fn, b):
+            b.store("stw", Const(0xFFFFFFF0), Const(1))
+            b.ret(Const(0))
+
+        module = make_module(build)
+        with pytest.raises(InterpError):
+            Interpreter(module).run()
+
+    def test_stats_collected(self):
+        def build(fn, b):
+            x = b.binop("mul", Const(6), Const(7))
+            b.store("stw", Const(0x200), x)
+            y = b.load("ldw", Const(0x200))
+            b.ret(y)
+
+        module = make_module(build)
+        interp = Interpreter(module)
+        assert interp.run() == 42
+        assert interp.stats.loads == 1
+        assert interp.stats.stores == 1

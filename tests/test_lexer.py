@@ -1,0 +1,81 @@
+"""Lexer unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import CompileError, TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+class TestTokens:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while_2 return")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[2].kind is TokenKind.IDENT  # while_2 is an ident
+        assert tokens[3].kind is TokenKind.KEYWORD
+
+    def test_decimal_number(self):
+        assert tokenize("1234")[0].value == 1234
+
+    def test_hex_number(self):
+        assert tokenize("0xFF")[0].value == 255
+        assert tokenize("0xDEADBEEF")[0].value == 0xDEADBEEF
+
+    def test_suffixes_swallowed(self):
+        assert tokenize("1u")[0].value == 1
+        assert tokenize("0xFFFFFFFFu")[0].value == 0xFFFFFFFF
+        assert tokenize("10UL")[0].value == 10
+
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].value == 97
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\x41'")[0].value == 0x41
+
+    def test_string_literal(self):
+        assert tokenize('"hi"')[0].value == b"hi"
+        assert tokenize(r'"a\tb"')[0].value == b"a\tb"
+
+    def test_operators_maximal_munch(self):
+        assert texts("a <<= b >> c") == ["a", "<<=", "b", ">>", "c"]
+        assert texts("x+++y") == ["x", "++", "+", "y"]
+        assert texts("a&&b&c") == ["a", "&&", "b", "&", "c"]
+
+    def test_comments_stripped(self):
+        assert texts("a /* b */ c // d\n e") == ["a", "c", "e"]
+
+    def test_line_col_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestLexErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_unknown_char(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_bad_escape(self):
+        with pytest.raises(CompileError):
+            tokenize(r"'\q'")

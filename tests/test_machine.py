@@ -1,0 +1,204 @@
+"""Machine model, presets, validation and encoding tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.operations import OpKind
+from repro.machine import (
+    Bus,
+    FunctionUnit,
+    Machine,
+    MachineValidationError,
+    RegisterFile,
+    build_machine,
+    encode_machine,
+    preset_names,
+    validate_machine,
+)
+from repro.machine.encoding import immediate_slot_cost
+from repro.machine.machine import MachineStyle
+
+
+class TestPresets:
+    def test_thirteen_design_points(self):
+        assert len(preset_names()) == 13
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_all_presets_validate(self, name):
+        validate_machine(build_machine(name))
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            build_machine("m-tta-9")
+
+    def test_styles(self):
+        assert build_machine("mblaze-3").style is MachineStyle.SCALAR
+        assert build_machine("m-vliw-2").style is MachineStyle.VLIW
+        assert build_machine("m-tta-2").style is MachineStyle.TTA
+
+    def test_rf_shapes_match_paper(self):
+        # Table III RF port column.
+        cases = {
+            "m-vliw-2": (64, 4, 2),
+            "p-vliw-2": (32, 2, 1),
+            "m-tta-2": (64, 1, 1),
+            "m-vliw-3": (96, 6, 3),
+            "m-tta-3": (96, 2, 1),
+            "p-tta-3": (32, 1, 1),
+        }
+        for name, (size, reads, writes) in cases.items():
+            rf = build_machine(name).register_files[0]
+            assert (rf.size, rf.read_ports, rf.write_ports) == (size, reads, writes)
+
+    def test_total_registers(self):
+        assert build_machine("m-vliw-2").total_registers == 64
+        assert build_machine("p-vliw-3").total_registers == 96
+
+    def test_bus_counts(self):
+        assert build_machine("m-tta-1").bus_count == 3
+        assert build_machine("m-tta-2").bus_count == 6
+        assert build_machine("bm-tta-2").bus_count == 5
+        assert build_machine("m-tta-3").bus_count == 9
+        assert build_machine("bm-tta-3").bus_count == 7
+
+    def test_one_multiplier_per_core(self):
+        # Paper: every design point uses 3 DSP blocks (one multiplier).
+        for name in preset_names():
+            machine = build_machine(name)
+            muls = [fu for fu in machine.function_units if "mul" in fu.ops]
+            assert len(muls) == 1, name
+
+    def test_bus_merged_really_pruned(self):
+        full = build_machine("p-tta-2")
+        merged = build_machine("bm-tta-2")
+        full_pairs = sum(len(b.sources) * len(b.destinations) for b in full.buses)
+        merged_pairs = sum(len(b.sources) * len(b.destinations) for b in merged.buses)
+        assert merged_pairs < full_pairs
+
+
+class TestComponents:
+    def test_fu_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            FunctionUnit("X", OpKind.ALU, frozenset({"ldw"}))
+
+    def test_fu_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            FunctionUnit("X", OpKind.ALU, frozenset({"frobnicate"}))
+
+    def test_rf_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RegisterFile("RF0", 0, 1, 1)
+
+    def test_bus_connects(self):
+        bus = Bus(0, frozenset({"A.r"}), frozenset({"B.t"}))
+        assert bus.connects("A.r", "B.t")
+        assert not bus.connects("B.t", "A.r")
+
+    def test_opcode_bits(self):
+        fu = build_machine("m-tta-1").fu_by_name["ALU0"]
+        assert fu.opcode_bits == 4  # 14 ops
+
+
+class TestValidation:
+    def test_missing_ops_detected(self):
+        base = build_machine("m-tta-1")
+        broken = Machine(
+            name="broken",
+            style=MachineStyle.TTA,
+            issue_width=1,
+            function_units=(base.control_unit,),  # no ALU/LSU
+            control_unit=base.control_unit,
+            register_files=base.register_files,
+            buses=base.buses,
+        )
+        with pytest.raises(MachineValidationError):
+            validate_machine(broken)
+
+    def test_unreachable_port_detected(self):
+        base = build_machine("m-tta-1")
+        # buses that connect nothing to the LSU trigger
+        pruned = tuple(
+            Bus(b.index, b.sources, frozenset(d for d in b.destinations if d != "LSU0.t"))
+            for b in base.buses
+        )
+        broken = Machine(
+            name="broken2",
+            style=MachineStyle.TTA,
+            issue_width=1,
+            function_units=base.function_units,
+            control_unit=base.control_unit,
+            register_files=base.register_files,
+            buses=pruned,
+        )
+        with pytest.raises(MachineValidationError):
+            validate_machine(broken)
+
+    def test_vliw_must_not_have_buses(self):
+        base = build_machine("m-vliw-2")
+        broken = Machine(
+            name="broken3",
+            style=MachineStyle.VLIW,
+            issue_width=2,
+            function_units=base.function_units,
+            control_unit=base.control_unit,
+            register_files=base.register_files,
+            buses=build_machine("m-tta-2").buses,
+        )
+        with pytest.raises(MachineValidationError):
+            validate_machine(broken)
+
+
+class TestEncoding:
+    def test_scalar_is_32_bits(self):
+        assert encode_machine(build_machine("mblaze-3")).instruction_width == 32
+
+    def test_vliw_manual_encoding(self):
+        # Paper: 2-issue slots are 4 + 2*(6+1) + 6 = 24 bits.
+        enc = encode_machine(build_machine("m-vliw-2"))
+        assert enc.slot_widths == (24, 24)
+        assert enc.instruction_width == 48
+
+    def test_tta_wider_than_vliw_per_issue(self):
+        # Table II: the TTA instruction is 1.4x-2x the VLIW word.
+        for pair in (("m-tta-2", "m-vliw-2"), ("m-tta-3", "m-vliw-3")):
+            tta = encode_machine(build_machine(pair[0])).instruction_width
+            vliw = encode_machine(build_machine(pair[1])).instruction_width
+            assert 1.3 < tta / vliw < 2.1
+
+    def test_bus_merging_shrinks_instruction(self):
+        assert (
+            encode_machine(build_machine("bm-tta-2")).instruction_width
+            < encode_machine(build_machine("p-tta-2")).instruction_width
+        )
+        assert (
+            encode_machine(build_machine("bm-tta-3")).instruction_width
+            < encode_machine(build_machine("p-tta-3")).instruction_width
+        )
+
+    def test_widths_close_to_paper(self):
+        from repro.eval.paper_data import PAPER_INSTR_WIDTH
+
+        for name, paper_width in PAPER_INSTR_WIDTH.items():
+            ours = encode_machine(build_machine(name)).instruction_width
+            assert abs(ours - paper_width) / paper_width < 0.20, (name, ours, paper_width)
+
+    def test_program_bits(self):
+        enc = encode_machine(build_machine("m-vliw-2"))
+        assert enc.program_bits(100) == 4800
+
+    def test_immediate_slot_cost(self):
+        m = build_machine("m-tta-2")  # simm 7
+        assert immediate_slot_cost(m, 0) == 0
+        assert immediate_slot_cost(m, 63) == 0
+        assert immediate_slot_cost(m, (-64) & 0xFFFFFFFF) == 0
+        assert immediate_slot_cost(m, 200) == 1
+        assert immediate_slot_cost(m, 0xFFFF) == 1  # fits unsigned 16
+        assert immediate_slot_cost(m, 0x12345678) == 2
+
+    def test_scalar_imm16_free(self):
+        m = build_machine("mblaze-3")
+        assert immediate_slot_cost(m, 30000) == 0
+        # wider constants need IMM-prefix words (the backends cap the
+        # charge at one prefix for scalar/2-issue encodings)
+        assert immediate_slot_cost(m, 0x10000) >= 1

@@ -1,0 +1,175 @@
+"""Parser unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import CompileError, parse
+from repro.frontend.cst_ast import (
+    ArrType,
+    Assign,
+    Binary,
+    CallExpr,
+    Cast,
+    DeclStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    IncDec,
+    Index,
+    IntType,
+    Num,
+    PtrType,
+    Return,
+    Ternary,
+    Unary,
+    While,
+)
+
+
+def parse_expr(expr_src: str):
+    unit = parse(f"int main(void) {{ return {expr_src}; }}")
+    ret = unit.items[0].body.stmts[0]
+    assert isinstance(ret, Return)
+    return ret.value
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_precedence_shift_vs_relational(self):
+        e = parse_expr("1 << 2 < 3")
+        assert e.op == "<" and e.left.op == "<<"
+
+    def test_precedence_bitand_vs_equality(self):
+        # C quirk: == binds tighter than &.
+        e = parse_expr("a & b == c")
+        assert e.op == "&" and e.right.op == "=="
+
+    def test_right_assoc_assignment(self):
+        unit = parse("int main(void){ int a; int b; a = b = 1; return 0; }")
+        stmt = unit.items[0].body.stmts[2]
+        assign = stmt.expr
+        assert isinstance(assign, Assign)
+        assert isinstance(assign.value, Assign)
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.els, Ternary)
+
+    def test_unary_chain(self):
+        e = parse_expr("-~!x")
+        assert isinstance(e, Unary) and e.op == "-"
+        assert e.operand.op == "~"
+        assert e.operand.operand.op == "!"
+
+    def test_cast(self):
+        e = parse_expr("(unsigned char)(x + 1)")
+        assert isinstance(e, Cast)
+        assert e.target_type == IntType(8, False)
+
+    def test_cast_vs_parens(self):
+        e = parse_expr("(x) + 1")
+        assert isinstance(e, Binary) and e.op == "+"
+
+    def test_index_chain(self):
+        e = parse_expr("m[1][2]")
+        assert isinstance(e, Index) and isinstance(e.base, Index)
+
+    def test_call_args(self):
+        e = parse_expr("f(1, g(2), 3)")
+        assert isinstance(e, CallExpr) and len(e.args) == 3
+        assert isinstance(e.args[1], CallExpr)
+
+    def test_postfix_incdec(self):
+        e = parse_expr("x++")
+        assert isinstance(e, IncDec) and not e.prefix
+
+    def test_prefix_incdec(self):
+        e = parse_expr("--x")
+        assert isinstance(e, IncDec) and e.prefix and e.op == "-"
+
+    def test_compound_assign(self):
+        unit = parse("int g; int main(void){ g <<= 2; return 0; }")
+        assign = unit.items[1].body.stmts[0].expr
+        assert isinstance(assign, Assign) and assign.op == "<<"
+
+    def test_string_concatenation(self):
+        e = parse_expr('"ab" "cd"')
+        assert e.data == b"abcd\0"
+
+
+class TestDeclarations:
+    def test_pointer_declarator(self):
+        unit = parse("int *p;")
+        decl = unit.items[0].decl
+        assert isinstance(decl.ty, PtrType)
+
+    def test_array_2d(self):
+        unit = parse("int m[3][4];")
+        ty = unit.items[0].decl.ty
+        assert isinstance(ty, ArrType) and ty.count == 3
+        assert isinstance(ty.elem, ArrType) and ty.elem.count == 4
+        assert ty.size == 48
+
+    def test_constant_dimension_expr(self):
+        unit = parse("int buf[4 * 8];")
+        assert unit.items[0].decl.ty.count == 32
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, *b, c[4];")
+        assert len(unit.items) == 3
+
+    def test_function_decl_and_def(self):
+        unit = parse("int f(int x); int f(int x) { return x; }")
+        assert unit.items[0].body is None
+        assert unit.items[1].body is not None
+
+    def test_unsigned_types(self):
+        unit = parse("unsigned char a; unsigned short b; unsigned c;")
+        tys = [item.decl.ty for item in unit.items]
+        assert tys == [IntType(8, False), IntType(16, False), IntType(32, False)]
+
+    def test_array_param_decays(self):
+        unit = parse("int f(int a[10]) { return a[0]; }")
+        assert isinstance(unit.items[0].params[0].ty, PtrType)
+
+
+class TestStatements:
+    def test_for_with_decl(self):
+        unit = parse("int main(void){ for (int i = 0; i < 4; i++) ; return 0; }")
+        stmt = unit.items[0].body.stmts[0]
+        assert isinstance(stmt, For) and isinstance(stmt.init, DeclStmt)
+
+    def test_dangling_else(self):
+        unit = parse("int main(void){ if (1) if (2) ; else ; return 0; }")
+        outer = unit.items[0].body.stmts[0]
+        assert isinstance(outer, If) and outer.els is None
+        assert isinstance(outer.then, If) and outer.then.els is not None
+
+    def test_while_and_do(self):
+        unit = parse("int main(void){ while (1) break; do continue; while (0); return 0; }")
+        assert isinstance(unit.items[0].body.stmts[0], While)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "int main(void) { return 1 +; }",
+            "int main(void) { if (1 { } return 0; }",
+            "int main(void) { int x[; return 0; }",
+            "int main(void) { return 0 }",
+            "int 3x;",
+            "int a[0];",
+            "int main(void) {",
+        ],
+    )
+    def test_rejects(self, src):
+        with pytest.raises(CompileError):
+            parse(src)

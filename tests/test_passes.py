@@ -1,0 +1,220 @@
+"""Optimizer pass tests: behaviour and semantics preservation."""
+
+from __future__ import annotations
+
+from repro.frontend import compile_source
+from repro.ir import Const, Function, IRBuilder, Interpreter, Module
+from repro.ir.instructions import BinOp, Copy, Jump
+from repro.ir.passes import (
+    const_fold,
+    copy_prop,
+    dead_code_elim,
+    local_cse,
+    optimize_function,
+    prune_unreachable_functions,
+    simplify_cfg,
+    strength_reduce,
+)
+
+
+def fn_with(build):
+    fn = Function("f", 0)
+    b = IRBuilder(fn)
+    b.set_block(fn.new_block("entry"))
+    build(fn, b)
+    return fn
+
+
+def count_instrs(fn):
+    return sum(len(block.instrs) for block in fn.ordered_blocks())
+
+
+class TestConstFold:
+    def test_folds_constant_binop(self):
+        def build(fn, b):
+            x = b.binop("add", Const(2), Const(3))
+            y = b.binop("mul", x, Const(4))
+            b.ret(y)
+
+        fn = fn_with(build)
+        const_fold(fn)
+        # both ops became constant copies
+        assert all(isinstance(i, Copy) for i in fn.entry.instrs)
+
+    def test_folds_cjump_on_constant(self):
+        def build(fn, b):
+            t = fn.new_block("t")
+            f = fn.new_block("f")
+            b.cjump(Const(1), t, f)
+            b.set_block(t)
+            b.ret(Const(1))
+            b.set_block(f)
+            b.ret(Const(0))
+
+        fn = fn_with(build)
+        assert const_fold(fn)
+        assert isinstance(fn.entry.terminator, Jump)
+
+    def test_kills_on_unknown_redefinition(self):
+        def build(fn, b):
+            v = b.const(1)
+            # redefine v with a value the pass cannot know (a call result)
+            b.call("external", [], want_result=True)
+            result = fn.entry.instrs[-1].dest
+            b.binop("add", result, Const(1), dest=v)
+            w = b.binop("mul", v, Const(3))
+            b.ret(w)
+
+        fn = fn_with(build)
+        const_fold(fn)
+        # neither the add nor the mul may fold: v's value is unknown
+        binops = [i for i in fn.entry.instrs if isinstance(i, BinOp)]
+        assert len(binops) == 2, "ops on unknown values must survive"
+
+
+class TestStrengthAndCSE:
+    def test_mul_pow2_to_shift(self):
+        def build(fn, b):
+            p = fn.new_vreg()
+            fn.params.append(p)
+            y = b.binop("mul", p, Const(8))
+            b.ret(y)
+
+        fn = fn_with(build)
+        strength_reduce(fn)
+        ops = [i.op for i in fn.entry.instrs if isinstance(i, BinOp)]
+        assert ops == ["shl"]
+
+    def test_identities(self):
+        def build(fn, b):
+            p = fn.new_vreg()
+            fn.params.append(p)
+            a = b.binop("add", p, Const(0))
+            c = b.binop("mul", a, Const(1))
+            d = b.binop("xor", c, Const(0))
+            b.ret(d)
+
+        fn = fn_with(build)
+        strength_reduce(fn)
+        assert not [i for i in fn.entry.instrs if isinstance(i, BinOp)]
+
+    def test_cse_shares_subexpression(self):
+        def build(fn, b):
+            p = fn.new_vreg()
+            fn.params.append(p)
+            a = b.binop("add", p, Const(3))
+            c = b.binop("add", p, Const(3))
+            d = b.binop("xor", a, c)
+            b.ret(d)
+
+        fn = fn_with(build)
+        local_cse(fn)
+        binops = [i for i in fn.entry.instrs if isinstance(i, BinOp)]
+        assert len(binops) == 2  # one add + the xor
+
+    def test_cse_respects_redefinition(self):
+        def build(fn, b):
+            p = fn.new_vreg()
+            fn.params.append(p)
+            a = b.binop("add", p, Const(3))
+            b.binop("add", p, Const(1), dest=p)
+            c = b.binop("add", p, Const(3))  # different p!
+            d = b.binop("xor", a, c)
+            b.ret(d)
+
+        fn = fn_with(build)
+        changed = local_cse(fn)
+        binops = [i for i in fn.entry.instrs if isinstance(i, BinOp)]
+        assert len(binops) == 4 and not changed
+
+
+class TestDCEAndCFG:
+    def test_dce_removes_dead_chain(self):
+        def build(fn, b):
+            dead1 = b.const(1)
+            dead2 = b.binop("add", dead1, Const(2))
+            b.ret(Const(0))
+
+        fn = fn_with(build)
+        assert dead_code_elim(fn)
+        assert count_instrs(fn) == 0
+
+    def test_dce_keeps_stores_and_calls(self):
+        def build(fn, b):
+            b.store("stw", Const(0x200), Const(1))
+            b.call("g", [], want_result=True)
+            b.ret(Const(0))
+
+        fn = fn_with(build)
+        dead_code_elim(fn)
+        assert count_instrs(fn) == 2
+
+    def test_simplify_merges_chain(self):
+        def build(fn, b):
+            nxt = fn.new_block("next")
+            b.jump(nxt)
+            b.set_block(nxt)
+            b.ret(Const(7))
+
+        fn = fn_with(build)
+        assert simplify_cfg(fn)
+        assert len(fn.block_order) == 1
+
+    def test_simplify_removes_unreachable(self):
+        def build(fn, b):
+            b.ret(Const(0))
+            orphan = fn.new_block("orphan")
+            orphan.terminator = Jump(orphan.name)
+
+        fn = fn_with(build)
+        assert simplify_cfg(fn)
+        assert len(fn.block_order) == 1
+
+
+class TestWholeProgram:
+    def test_prune_unreachable_functions(self):
+        src = """
+        int unused(int x) { return x * 3; }
+        int used(int x) { return x + 1; }
+        int main(void) { return used(4); }
+        """
+        module = compile_source(src, optimize=False)
+        prune_unreachable_functions(module)
+        assert "unused" not in module.functions
+        assert "used" in module.functions
+        # the division runtime is unreferenced here and also pruned
+        assert "__divu" not in module.functions
+
+    def test_recursion_not_pruned(self):
+        src = "int main(void) { return main(); }"
+        module = compile_source(src, optimize=False)
+        prune_unreachable_functions(module)
+        assert "main" in module.functions
+
+
+class TestSemanticPreservation:
+    SNIPPETS = [
+        ("int main(void){ int a=3; int b=a*4+2; return b - (a << 1); }", None),
+        ("int main(void){ int i; int s=0; for(i=0;i<17;i++) s+= i^3; return s; }", None),
+        (
+            "int main(void){ unsigned x=0xdead; if (x > 100) x /= 7; else x *= 2;"
+            " return (int)(x & 0xffff); }",
+            None,
+        ),
+        ("int sq(int v){return v*v;} int main(void){ return sq(9) % 13; }", None),
+    ]
+
+    def test_optimized_equals_unoptimized(self):
+        for src, _ in self.SNIPPETS:
+            plain = Interpreter(compile_source(src, optimize=False)).run()
+            optimized = Interpreter(compile_source(src, optimize=True)).run()
+            assert plain == optimized, src
+
+    def test_optimize_function_is_idempotent_on_result(self):
+        src = self.SNIPPETS[1][0]
+        module = compile_source(src, optimize=True)
+        before = Interpreter(module).run()
+        for function in module.functions.values():
+            optimize_function(function)
+        after = Interpreter(module).run()
+        assert before == after

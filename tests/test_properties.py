@@ -1,0 +1,114 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_machine, compile_source
+from repro.compress import compress_program, per_slot_compression
+from repro.frontend import compile_source as compile_minic
+from repro.ir import Interpreter
+from repro.isa.semantics import MASK32, to_signed
+from repro.machine import RegisterFile
+from repro.machine.encoding import immediate_slot_cost
+from repro.fpga.resources import rf_luts
+
+
+class TestMiniCExpressionSemantics:
+    """Constant MiniC expressions must evaluate exactly like Python's
+    two's-complement model."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+        st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+    )
+    def test_binary_ops_match_python(self, a, b, op):
+        src = f"int main(void) {{ return ({a}) {op} ({b}); }}"
+        got = Interpreter(compile_minic(src)).run()
+        python_ops = {
+            "+": a + b,
+            "-": a - b,
+            "*": a * b,
+            "&": a & b,
+            "|": a | b,
+            "^": a ^ b,
+        }
+        assert got == python_ops[op] % 2**32
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(1, 2**31 - 1))
+    def test_division_truncates_toward_zero(self, a, b):
+        src = f"int main(void) {{ return ({a}) / ({b}); }}"
+        got = Interpreter(compile_minic(src)).run()
+        expected = int(a / b)  # trunc toward zero, like C
+        assert to_signed(got) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(1, 2**31 - 1))
+    def test_modulo_identity(self, a, b):
+        src = f"""
+        int main(void) {{
+            int q = ({a}) / ({b});
+            int r = ({a}) % ({b});
+            return q * ({b}) + r == ({a});
+        }}
+        """
+        assert Interpreter(compile_minic(src)).run() == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 31))
+    def test_unsigned_shift_roundtrip(self, value, shift):
+        src = f"""
+        int main(void) {{
+            unsigned v = {value}u;
+            unsigned s = (v << {shift}) >> {shift};
+            return s == (v & (0xFFFFFFFFu >> {shift}));
+        }}
+        """
+        assert Interpreter(compile_minic(src)).run() == 1
+
+
+class TestEncodingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, MASK32))
+    def test_imm_cost_monotone_in_simm(self, value):
+        # A machine with a wider short-immediate field never pays more.
+        narrow = build_machine("m-tta-2")  # simm 7
+        wide = build_machine("mblaze-3")  # simm 16
+        assert immediate_slot_cost(wide, value) <= immediate_slot_cost(narrow, value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 3), st.sampled_from([32, 64, 96, 128]))
+    def test_rf_model_positive_and_monotone_in_reads(self, reads, writes, depth):
+        luts, ram = rf_luts(RegisterFile("r", depth, reads, writes))
+        more, _ = rf_luts(RegisterFile("r", depth, reads + 1, writes))
+        assert luts > 0 and ram > 0 and ram <= luts
+        assert more > luts
+
+
+class TestCompressionProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(2, 9), st.integers(0, 3))
+    def test_compression_accounting(self, trip, flavor):
+        machines = ("mblaze-3", "m-vliw-2", "m-tta-1", "m-tta-2")
+        src = f"""
+        int main(void) {{
+            int i; int s = 0;
+            for (i = 0; i < {trip}; i++) s += i * {trip + 1};
+            return s & 0xFF;
+        }}
+        """
+        from repro import compile_for_machine
+
+        compiled = compile_for_machine(compile_source(src), build_machine(machines[flavor]))
+        full = compress_program(compiled.program)
+        slot = per_slot_compression(compiled.program)
+        for report in (full, slot):
+            assert report.total_bits == report.index_bits + report.dictionary_bits
+            assert report.entries >= 1
+            assert report.original_bits >= report.entries  # sanity
+        # the dictionary can never have more entries than instructions
+        assert full.entries <= len(compiled.program.instrs)

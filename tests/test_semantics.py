@@ -1,0 +1,124 @@
+"""Unit and property tests for the 32-bit operation semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import MASK32, evaluate, sext8, sext16, to_signed, to_unsigned
+from repro.isa.operations import ALU_OPS, CU_OPS, LSU_OPS, OPS
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestConversions:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(2**31)
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(2**32 + 7) == 7
+
+    def test_sext8(self):
+        assert sext8(0x7F) == 0x7F
+        assert sext8(0x80) == 0xFFFFFF80
+        assert sext8(0x1FF) == 0xFFFFFFFF
+
+    def test_sext16(self):
+        assert sext16(0x7FFF) == 0x7FFF
+        assert sext16(0x8000) == 0xFFFF8000
+
+    @given(u32)
+    def test_signed_unsigned_roundtrip(self, x):
+        assert to_unsigned(to_signed(x)) == x
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 0xFFFFFFFF, 1, 0),
+            ("sub", 0, 1, 0xFFFFFFFF),
+            ("mul", 0x10000, 0x10000, 0),
+            ("mul", 7, 6, 42),
+            ("and", 0xF0F0, 0x0FF0, 0x00F0),
+            ("ior", 0xF000, 0x000F, 0xF00F),
+            ("xor", 0xFFFF, 0xF0F0, 0x0F0F),
+            ("eq", 5, 5, 1),
+            ("eq", 5, 6, 0),
+            ("gt", 1, 0xFFFFFFFF, 1),  # 1 > -1 signed
+            ("gtu", 1, 0xFFFFFFFF, 0),  # 1 < max unsigned
+            ("shl", 1, 31, 0x80000000),
+            ("shl", 1, 32, 1),  # shift amount mod 32
+            ("shr", 0x80000000, 1, 0xC0000000),  # arithmetic
+            ("shru", 0x80000000, 1, 0x40000000),  # logical
+            ("sxhw", 0x8000, 0, 0xFFFF8000),
+            ("sxqw", 0x80, 0, 0xFFFFFF80),
+        ],
+    )
+    def test_known_values(self, op, a, b, expected):
+        assert evaluate(op, (a, b)) == expected
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            evaluate("ldw", (0, 0))
+
+    @given(u32, u32)
+    def test_add_matches_python(self, a, b):
+        assert evaluate("add", (a, b)) == (a + b) % 2**32
+
+    @given(u32, u32)
+    def test_sub_matches_python(self, a, b):
+        assert evaluate("sub", (a, b)) == (a - b) % 2**32
+
+    @given(u32, u32)
+    def test_mul_matches_python(self, a, b):
+        assert evaluate("mul", (a, b)) == (a * b) % 2**32
+
+    @given(u32, u32)
+    def test_gt_matches_python(self, a, b):
+        assert evaluate("gt", (a, b)) == int(to_signed(a) > to_signed(b))
+
+    @given(u32, u32)
+    def test_shr_matches_python(self, a, b):
+        assert evaluate("shr", (a, b)) == (to_signed(a) >> (b & 31)) % 2**32
+
+    @given(u32, u32)
+    def test_commutative_ops(self, a, b):
+        for op in ("add", "mul", "and", "ior", "xor", "eq"):
+            assert evaluate(op, (a, b)) == evaluate(op, (b, a))
+
+    @given(u32)
+    def test_xor_self_inverse(self, a):
+        assert evaluate("xor", (evaluate("xor", (a, 0xDEADBEEF)), 0xDEADBEEF)) == a
+
+
+class TestOpTables:
+    def test_table1_op_counts(self):
+        # Table I: 14 ALU operations, 8 LSU operations.
+        assert len(ALU_OPS) == 14
+        assert len(LSU_OPS) == 8
+
+    def test_latencies_match_table1(self):
+        assert OPS["add"].latency == 1
+        assert OPS["mul"].latency == 3
+        assert OPS["shl"].latency == 2
+        assert OPS["ldw"].latency == 3
+        assert OPS["stw"].latency == 0
+
+    def test_stores_have_no_result(self):
+        for name in ("stw", "sth", "stq"):
+            assert not OPS[name].has_result
+
+    def test_control_ops_flagged(self):
+        for name in ("jump", "cjump", "cjumpz", "call", "ret"):
+            assert OPS[name].is_control
+
+    def test_memory_flags(self):
+        assert OPS["ldw"].reads_mem and not OPS["ldw"].writes_mem
+        assert OPS["stw"].writes_mem and not OPS["stw"].reads_mem

@@ -1,0 +1,186 @@
+"""Simulator unit tests: memory, timing models, error detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.backend.mop import Imm, MOp, PhysReg
+from repro.backend.program import Move, Program, TTAInstr, VLIWInstr
+from repro.sim import DataMemory, SimError, TTASimulator, VLIWSimulator, run_compiled
+
+
+class TestDataMemory:
+    def test_word_roundtrip(self):
+        mem = DataMemory(64)
+        mem.store("stw", 8, 0xDEADBEEF)
+        assert mem.load("ldw", 8) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        mem = DataMemory(64)
+        mem.store("stw", 0, 0x11223344)
+        assert mem.load("ldqu", 0) == 0x44
+        assert mem.load("ldqu", 3) == 0x11
+
+    def test_sign_extension(self):
+        mem = DataMemory(64)
+        mem.store("stq", 0, 0x80)
+        assert mem.load("ldq", 0) == 0xFFFFFF80
+        assert mem.load("ldqu", 0) == 0x80
+        mem.store("sth", 4, 0x8000)
+        assert mem.load("ldh", 4) == 0xFFFF8000
+        assert mem.load("ldhu", 4) == 0x8000
+
+    def test_truncating_stores(self):
+        mem = DataMemory(64)
+        mem.store("stq", 0, 0x1FF)
+        assert mem.load("ldqu", 0) == 0xFF
+
+    def test_bounds_checked(self):
+        mem = DataMemory(16)
+        with pytest.raises(SimError):
+            mem.load("ldw", 14)
+        with pytest.raises(SimError):
+            mem.store("stw", 100, 1)
+
+    def test_preload(self):
+        mem = DataMemory(16)
+        mem.preload(4, b"\x2a\x00\x00\x00")
+        assert mem.load("ldw", 4) == 42
+
+
+class TestScalarTiming:
+    def _cycles(self, src: str, machine_name: str) -> int:
+        compiled = compile_for_machine(compile_source(src), build_machine(machine_name))
+        result = run_compiled(compiled)
+        assert result.exit_code == 0
+        return result.cycles
+
+    def test_load_stall_charged_on_3_stage(self):
+        src = """
+        int g[32];
+        int main(void){ int i; int s=0; for(i=0;i<32;i++) s+=g[i]; return s; }
+        """
+        assert self._cycles(src, "mblaze-3") > self._cycles(src, "mblaze-5")
+
+    def test_branches_cost_more_taken(self):
+        loop = "int main(void){ int i; int s=0; for(i=0;i<50;i++) s+=1; return s-50; }"
+        straight = "int main(void){ int s=0;" + "s+=1;" * 50 + "return s-50; }"
+        assert self._cycles(loop, "mblaze-3") > self._cycles(straight, "mblaze-3")
+
+
+class TestTTAVerifier:
+    def _machine_prog(self, moves_lists):
+        machine = build_machine("m-tta-2")
+        instrs = [TTAInstr(moves) for moves in moves_lists]
+        return Program(machine, "tta", instrs)
+
+    def test_double_bus_use_detected(self):
+        prog = self._machine_prog(
+            [[Move(("imm", 0), ("rf", "RF0", 1), 0), Move(("imm", 1), ("rf", "RF0", 2), 0)]]
+        )
+        with pytest.raises(SimError, match="bus 0 used twice"):
+            TTASimulator(prog).run()
+
+    def test_write_port_oversubscription_detected(self):
+        prog = self._machine_prog(
+            [[Move(("imm", 0), ("rf", "RF0", 1), 0), Move(("imm", 1), ("rf", "RF0", 2), 1)]]
+        )
+        with pytest.raises(SimError, match="write ports"):
+            TTASimulator(prog).run()
+
+    def test_early_result_read_detected(self):
+        # trigger a mul (latency 3) and read the result the next cycle
+        prog = self._machine_prog(
+            [
+                [
+                    Move(("imm", 3), ("op", "ALU0", "o1", None), 0),
+                    Move(("imm", 4), ("op", "ALU0", "t", "mul"), 1),
+                ],
+                [Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)],
+            ]
+        )
+        with pytest.raises(SimError, match="read at"):
+            TTASimulator(prog).run()
+
+    def test_connectivity_check(self):
+        # bm-tta-2 bus 3 cannot read from the register files
+        machine = build_machine("bm-tta-2")
+        prog = Program(
+            machine,
+            "tta",
+            [TTAInstr([Move(("rf", "RF0", 1), ("rf", "RF1", 1), 3)])],
+        )
+        with pytest.raises(SimError, match="not routable"):
+            TTASimulator(prog, check_connectivity=True).run()
+
+    def test_semi_virtual_latching_multiple_inflight(self):
+        # mul at cycle 0 (due 3), shl at cycle 2 (due 4): a read at cycle 3
+        # must return the mul result, a read at 4 the shl result.
+        moves = [
+            [
+                Move(("imm", 6), ("op", "ALU0", "o1", None), 0),
+                Move(("imm", 7), ("op", "ALU0", "t", "mul"), 1),
+            ],
+            [],
+            [
+                Move(("imm", 2), ("op", "ALU0", "o1", None), 0),
+                Move(("imm", 1), ("op", "ALU0", "t", "shl"), 1),
+            ],
+            [Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)],
+            [Move(("fu", "ALU0"), ("rf", "RF0", 2), 0)],
+            [
+                Move(("imm", 0), ("op", "CU", "t", "halt"), 0),
+            ],
+        ]
+        prog = self._machine_prog(moves)
+        sim = TTASimulator(prog)
+        sim.run()
+        assert sim.rfs["RF0"][1] == 42  # mul result
+        assert sim.rfs["RF0"][2] == 4  # 1 << 2
+
+
+class TestVLIWTiming:
+    def test_delayed_writeback_visible_late(self):
+        machine = build_machine("m-vliw-2")
+        r1 = PhysReg("RF0", 1)
+        r2 = PhysReg("RF0", 2)
+        instrs = [
+            VLIWInstr([MOp("add", r1, [Imm(40), Imm(2)])]),  # wb at cycle 1
+            VLIWInstr([MOp("add", r2, [r1, Imm(0)])]),  # reads OLD r1 (0)
+            VLIWInstr([MOp("add", r2, [r1, Imm(0)])]),  # now reads 42
+            VLIWInstr([MOp("halt", None, [Imm(0)])]),
+        ]
+        prog = Program(machine, "vliw", instrs)
+        sim = VLIWSimulator(prog)
+        sim.run()
+        # the second bundle executed before r1's write-back was visible
+        assert sim.regs[r2] == 42
+
+    def test_overlapping_control_rejected(self):
+        machine = build_machine("m-vliw-2")
+        instrs = [
+            VLIWInstr([MOp("jump", None, [Imm(0)])]),
+            VLIWInstr([MOp("jump", None, [Imm(0)])]),
+            VLIWInstr([]),
+            VLIWInstr([]),
+        ]
+        prog = Program(machine, "vliw", instrs)
+        with pytest.raises(SimError, match="overlapping"):
+            VLIWSimulator(prog).run()
+
+
+class TestRunCompiled:
+    def test_exit_code_plumbed(self):
+        compiled = compile_for_machine(
+            compile_source("int main(void){ return 123; }"), build_machine("m-tta-1")
+        )
+        assert run_compiled(compiled).exit_code == 123
+
+    def test_data_preloaded(self):
+        src = """
+        int magic[2] = {1000, 337};
+        int main(void){ return magic[0] + magic[1]; }
+        """
+        compiled = compile_for_machine(compile_source(src), build_machine("mblaze-3"))
+        assert run_compiled(compiled).exit_code == 1337
