@@ -1,0 +1,109 @@
+"""Simulator throughput: pre-decoded fast engine vs per-cycle reference.
+
+Reports simulated cycles per second for the Table IV workloads in both
+execution modes and asserts the load-time-verified fast engine reaches
+at least the 3x speedup that motivated the split (plus bit-exact
+agreement on every architectural statistic, which the differential
+tests in ``tests/test_predecode.py`` also enforce).
+
+Run:  pytest benchmarks/bench_sim_throughput.py -s
+
+Smoke mode (for CI):  REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_sim_throughput.py -s
+runs a single kernel on a single machine and skips the speedup floor
+(shared CI runners have too much timing noise for a hard ratio assert).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.kernels import kernel_source
+from repro.sim import run_compiled
+
+#: Table IV design points exercised by the throughput comparison.
+MACHINES = ("m-tta-2", "m-vliw-2")
+
+#: minimum fast/checked speedup required on at least one workload
+SPEEDUP_FLOOR = 3.0
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _bench_kernels(kernels) -> tuple[str, ...]:
+    return kernels[:1] if _smoke() else kernels
+
+
+def _time_mode(compiled, mode: str):
+    start = time.perf_counter()
+    result = run_compiled(compiled, mode=mode)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_sim_throughput(kernels, capsys):
+    rows = []
+    best_speedup = 0.0
+    for machine_name in MACHINES[:1] if _smoke() else MACHINES:
+        machine = build_machine(machine_name)
+        for kernel in _bench_kernels(kernels):
+            compiled = compile_for_machine(
+                compile_source(kernel_source(kernel)), machine
+            )
+            fast, t_fast = _time_mode(compiled, "fast")
+            checked, t_checked = _time_mode(compiled, "checked")
+            # The two engines must agree on every architectural statistic.
+            assert asdict(fast) == asdict(checked), (machine_name, kernel)
+            assert fast.exit_code == 0, (machine_name, kernel)
+            speedup = t_checked / t_fast if t_fast > 0 else float("inf")
+            best_speedup = max(best_speedup, speedup)
+            rows.append(
+                (
+                    machine_name,
+                    kernel,
+                    fast.cycles,
+                    fast.cycles / t_checked / 1e3,
+                    fast.cycles / t_fast / 1e3,
+                    speedup,
+                )
+            )
+    with capsys.disabled():
+        print()
+        print(
+            f"{'machine':10s} {'kernel':10s} {'cycles':>10s} "
+            f"{'checked':>12s} {'fast':>12s} {'speedup':>8s}"
+        )
+        for machine_name, kernel, cycles, kcps_checked, kcps_fast, speedup in rows:
+            print(
+                f"{machine_name:10s} {kernel:10s} {cycles:10d} "
+                f"{kcps_checked:8.0f} kc/s {kcps_fast:8.0f} kc/s {speedup:7.1f}x"
+            )
+    if _smoke():
+        # CI smoke run: correctness only; timing on shared runners is noise.
+        assert best_speedup > 1.0
+    else:
+        assert best_speedup >= SPEEDUP_FLOOR, (
+            f"fast engine only reached {best_speedup:.1f}x over the checked "
+            f"reference (target {SPEEDUP_FLOOR}x)"
+        )
+
+
+@pytest.mark.skipif(not _smoke(), reason="only exercised in smoke mode")
+def test_smoke_covers_both_styles():
+    """In smoke mode the main test runs one machine; still touch the other
+    style cheaply so CI exercises both fast engines end to end."""
+    kernel = "mips"
+    for machine_name in MACHINES:
+        compiled = compile_for_machine(
+            compile_source(kernel_source(kernel)), build_machine(machine_name)
+        )
+        fast = run_compiled(compiled, mode="fast")
+        checked = run_compiled(compiled, mode="checked")
+        assert asdict(fast) == asdict(checked), machine_name
+        assert fast.exit_code == 0

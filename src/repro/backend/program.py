@@ -83,6 +83,10 @@ class Program:
     instrs: list
     labels: dict[str, int] = field(default_factory=dict)
     extra_imm_words: int = 0
+    #: load-time pre-decode artefacts keyed by engine name; filled lazily by
+    #: :mod:`repro.sim.predecode` so repeated simulations of one program pay
+    #: the structural verification and decode cost only once.
+    predecode_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def instruction_count(self) -> int:
@@ -91,6 +95,10 @@ class Program:
 
     def address_of(self, label: str) -> int:
         return self.labels[label]
+
+    def invalidate_predecode(self) -> None:
+        """Drop cached pre-decoded forms (call after mutating ``instrs``)."""
+        self.predecode_cache.clear()
 
 
 def link_blocks(

@@ -61,10 +61,14 @@ def _cmd_run(args) -> int:
     module = _load_module(args.file)
     machine = build_machine(args.machine)
     compiled = compile_for_machine(module, machine)
-    result = run_compiled(compiled, check_connectivity=args.verify)
+    # --verify forces the per-cycle reference engine with full move routing;
+    # otherwise the pre-decoded fast engine (load-time verification) runs.
+    mode = "checked" if args.verify else args.mode
+    result = run_compiled(compiled, check_connectivity=args.verify, mode=mode)
     encoding = encode_machine(machine)
     print(f"exit code : {result.exit_code}")
     print(f"cycles    : {result.cycles}")
+    print(f"engine    : {mode}")
     print(f"image     : {compiled.instruction_count} instructions "
           f"({compiled.instruction_count * encoding.instruction_width / 1000:.1f} kbit)")
     if hasattr(result, "bypass_reads"):
@@ -127,7 +131,19 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="compile and simulate a MiniC file")
     p_run.add_argument("file")
     p_run.add_argument("-m", "--machine", default="m-tta-2", choices=preset_names())
-    p_run.add_argument("--verify", action="store_true", help="verify bus connectivity")
+    p_run.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the per-cycle reference engine with full connectivity checks "
+        "(implies --mode checked)",
+    )
+    p_run.add_argument(
+        "--mode",
+        choices=("fast", "checked"),
+        default="fast",
+        help="simulation engine: 'fast' verifies the schedule once at load "
+        "time and runs pre-decoded code; 'checked' re-verifies every cycle",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_asm = sub.add_parser("asm", help="print scheduled assembly")

@@ -179,7 +179,12 @@ class _IRGen:
             if expr.op == "/":
                 if b == 0:
                     raise CompileError("division by zero in constant", expr.line, expr.col)
-                return (to_signed(a) // to_signed(b)) & _MASK32
+                # C division truncates toward zero; Python's ``//`` floors.
+                sa, sb = to_signed(a), to_signed(b)
+                quotient = abs(sa) // abs(sb)
+                if (sa < 0) != (sb < 0):
+                    quotient = -quotient
+                return quotient & _MASK32
         raise CompileError("initialiser is not a compile-time constant", expr.line, expr.col)
 
     @staticmethod

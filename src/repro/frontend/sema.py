@@ -393,6 +393,17 @@ class _Analyzer:
         if expr.op in ("-", "~"):
             if not is_integer(operand_ty):
                 raise CompileError(f"unary {expr.op} needs an integer", expr.line, expr.col)
+            if (
+                expr.op == "-"
+                and isinstance(expr.operand, Num)
+                and expr.operand.value <= 0x80000000
+            ):
+                # A negated decimal literal whose value fits the signed
+                # 32-bit range denotes a signed constant: ``-2147483648``
+                # is INT_MIN, not unsigned 0x80000000.  (The bare literal
+                # 2147483648 types as unsigned, which would silently turn
+                # ``-2147483648 / 2`` into an unsigned division.)
+                return INT
             return _promote(operand_ty)
         raise CompileError(f"unknown unary {expr.op!r}", expr.line, expr.col)
 

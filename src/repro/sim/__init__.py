@@ -12,6 +12,7 @@ not a silent wrong answer.
 
 from repro.sim.errors import SimError
 from repro.sim.memory import DataMemory
+from repro.sim.predecode import verify_tta_program, verify_vliw_program
 from repro.sim.run import run_compiled
 from repro.sim.scalar_sim import ScalarResult, ScalarSimulator
 from repro.sim.tta_sim import TTAResult, TTASimulator
@@ -27,4 +28,6 @@ __all__ = [
     "VLIWResult",
     "VLIWSimulator",
     "run_compiled",
+    "verify_tta_program",
+    "verify_vliw_program",
 ]

@@ -9,16 +9,32 @@ from repro.sim.tta_sim import TTASimulator
 from repro.sim.vliw_sim import VLIWSimulator
 
 
-def run_compiled(compiled: CompiledProgram, check_connectivity: bool = False, max_cycles: int = 500_000_000):
+def run_compiled(
+    compiled: CompiledProgram,
+    check_connectivity: bool = False,
+    max_cycles: int = 500_000_000,
+    mode: str = "fast",
+):
     """Simulate *compiled* on its machine; returns the style's result object
-    (all results expose ``exit_code`` and ``cycles``)."""
+    (all results expose ``exit_code`` and ``cycles``).
+
+    ``mode="fast"`` (the default) verifies all structural schedule
+    properties once at load time and executes the pre-decoded program;
+    ``mode="checked"`` runs the per-cycle reference engine.
+    ``check_connectivity`` additionally routes every executed TTA move in
+    checked mode (fast mode always verifies connectivity at load time).
+    The scalar core has a single engine; *mode* is ignored there.
+    """
     style = compiled.machine.style
     if style is MachineStyle.TTA:
         sim = TTASimulator(
-            compiled.program, check_connectivity=check_connectivity, max_cycles=max_cycles
+            compiled.program,
+            check_connectivity=check_connectivity,
+            max_cycles=max_cycles,
+            mode=mode,
         )
     elif style is MachineStyle.VLIW:
-        sim = VLIWSimulator(compiled.program, max_cycles=max_cycles)
+        sim = VLIWSimulator(compiled.program, max_cycles=max_cycles, mode=mode)
     else:
         sim = ScalarSimulator(compiled.program, max_cycles=max_cycles)
     sim.preload(compiled.data_init)

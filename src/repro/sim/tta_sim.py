@@ -6,12 +6,29 @@ operation; the result is readable from the unit's result register once
 the latency has elapsed and until the next operation on the same unit
 overwrites it.
 
-The simulator doubles as a schedule verifier:
+Two execution modes are offered (``mode="fast"`` is the default):
+
+* ``"fast"`` -- all structural properties (bus exclusivity including
+  long-immediate ``extra_slots`` reservations, RF port limits, full
+  connectivity routing, resolved immediates, known opcodes) are verified
+  **once per static instruction** at load time by
+  :mod:`repro.sim.predecode`, which also pre-decodes each instruction
+  into flat sampler/writer/trigger closures consumed by a lean inner
+  loop.  Dynamic violations (early result reads, overlapping control
+  transfers) still raise.
+* ``"checked"`` -- the reference implementation: every check is re-run
+  on every executed cycle.  The differential tests assert the two modes
+  agree bit- and cycle-exactly on every workload.
+
+In both modes the simulator doubles as a schedule verifier:
 
 * reading a result before it is due raises :class:`SimError`;
-* two moves on one bus in one instruction raise;
+* two moves on one bus in one instruction raise, as does a
+  long-immediate move whose extra bus slots cannot be satisfied;
 * register-file port over-subscription raises;
-* a move over a bus that does not connect its endpoints raises.
+* a move over a bus that does not connect its endpoints raises
+  (always at load time in fast mode; per executed cycle in checked
+  mode when ``check_connectivity=True``).
 """
 
 from __future__ import annotations
@@ -24,6 +41,7 @@ from repro.isa.operations import OPS, OpKind
 from repro.isa.semantics import MASK32, evaluate
 from repro.sim.errors import SimError
 from repro.sim.memory import DataMemory
+from repro.sim.predecode import check_tta_slots, run_tta_fast
 
 
 @dataclass
@@ -50,12 +68,11 @@ class _FU:
             self.has_result = True
 
     def read(self, cycle: int):
+        """Result-register value, or None when no result is readable yet
+        (either the first result is still in flight or the unit was never
+        triggered -- :func:`fu_unavailable_error` tells the two apart)."""
         self.commit(cycle)
-        if not self.has_result:
-            if self.pending:
-                return None  # read before the first result is due
-            return None
-        return self.result
+        return self.result if self.has_result else None
 
     def push(self, due: int, value: int) -> None:
         if self.pending and due <= self.pending[-1][0]:
@@ -63,6 +80,22 @@ class _FU:
                 f"{self.name}: result due {due} not after pending {self.pending[-1][0]}"
             )
         self.pending.append((due, value))
+
+
+def fu_unavailable_error(fu: _FU, cycle: int) -> SimError:
+    """Diagnose a read of an FU result register that holds no result yet,
+    distinguishing a schedule that reads too early from one that reads a
+    unit that was never triggered."""
+    if fu.pending:
+        return SimError(
+            f"schedule violation: {fu.name} result read at {cycle} before "
+            f"the first result is due at {fu.pending[0][0]} "
+            f"(pending: {fu.pending})"
+        )
+    return SimError(
+        f"schedule violation: {fu.name} result read at {cycle} but the "
+        f"unit was never triggered"
+    )
 
 
 @dataclass
@@ -81,11 +114,17 @@ class TTASimulator:
     program: Program
     memory_size: int = MEMORY_SIZE
     max_cycles: int = 500_000_000
-    #: verify bus connectivity of every executed move (slower; tests use it)
+    #: checked mode only: verify bus connectivity of every executed move
+    #: (fast mode always verifies connectivity, once, at load time)
     check_connectivity: bool = False
+    #: "fast" = load-time verification + pre-decoded engine;
+    #: "checked" = per-cycle reference implementation
+    mode: str = "fast"
     memory: DataMemory = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.mode not in ("fast", "checked"):
+            raise ValueError(f"unknown simulation mode {self.mode!r}")
         machine = self.program.machine
         self.memory = DataMemory(self.memory_size)
         self.rfs: dict[str, list[int]] = {
@@ -94,6 +133,10 @@ class TTASimulator:
         self.fus: dict[str, _FU] = {fu.name: _FU(fu.name) for fu in machine.all_units}
         self.ra = 0
         self.buses = {bus.index: bus for bus in machine.buses}
+        #: control transfer latched by the current instruction's trigger,
+        #: (redirect_cycle, target); instance state -- two simulators in
+        #: one process must never share a pending branch
+        self._pending_redirect: tuple[int, int] | None = None
 
     def preload(self, data_init: list[tuple[int, bytes]]) -> None:
         for address, blob in data_init:
@@ -116,10 +159,7 @@ class TTASimulator:
             fu = self.fus[move.src[1]]
             value = fu.read(cycle)
             if value is None:
-                raise SimError(
-                    f"schedule violation: {fu.name} result read at {cycle} "
-                    f"before any result is available (pending: {fu.pending})"
-                )
+                raise fu_unavailable_error(fu, cycle)
             stats.bypass_reads += 1
             return value
         raise SimError(f"bad move source {move.src!r}")
@@ -139,6 +179,14 @@ class TTASimulator:
         return f"{fu}.{port}"
 
     def run(self) -> TTAResult:
+        if self.mode == "fast":
+            return run_tta_fast(self)
+        return self._run_checked()
+
+    def _run_checked(self) -> TTAResult:
+        """Reference implementation: re-verify every structural property on
+        every executed cycle (the pre-decoded fast engine must agree with
+        this path bit- and cycle-exactly)."""
         machine = self.program.machine
         jl = machine.jump_latency
         instrs = self.program.instrs
@@ -147,6 +195,7 @@ class TTASimulator:
         pc = 0
         cycle = 0
         redirect: tuple[int, int] | None = None
+        bus_count = len(machine.buses)
         read_limits = {rf.name: rf.read_ports for rf in machine.register_files}
         write_limits = {rf.name: rf.write_ports for rf in machine.register_files}
 
@@ -159,15 +208,11 @@ class TTASimulator:
             instr: TTAInstr = instrs[pc]
 
             # --- structural checks -------------------------------------
-            busy: set[int] = set()
+            # bus exclusivity, including long-immediate extra_slots
+            check_tta_slots(instr, pc, bus_count)
             reads: dict[str, int] = {}
             writes: dict[str, int] = {}
             for move in instr.moves:
-                if move.bus in busy:
-                    raise SimError(f"bus {move.bus} used twice at pc={pc}")
-                busy.add(move.bus)
-                for _ in range(move.extra_slots):
-                    pass  # extra slots were reserved at schedule time
                 if move.src[0] == "rf":
                     reads[move.src[1]] = reads.get(move.src[1], 0) + 1
                 if move.dst[0] == "rf":
@@ -231,8 +276,6 @@ class TTASimulator:
 
         stats.cycles = cycle + 1
         return stats
-
-    _pending_redirect: tuple[int, int] | None = None
 
     def _execute(
         self,

@@ -9,6 +9,12 @@ than silently matching the interpreter.
 
 Control transfers redirect fetch ``jump_latency + 1`` instructions after
 the trigger (exposed delay slots).
+
+Two execution modes are offered (``mode="fast"`` is the default):
+``"fast"`` validates every bundle once at load time and runs the
+pre-decoded engine of :mod:`repro.sim.predecode`; ``"checked"`` is the
+per-cycle reference implementation.  Differential tests assert the two
+agree bit- and cycle-exactly.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.backend.program import Program, VLIWInstr
 from repro.isa.semantics import MASK32, evaluate
 from repro.sim.errors import SimError
 from repro.sim.memory import DataMemory
+from repro.sim.predecode import run_vliw_fast
 
 
 @dataclass
@@ -37,14 +44,21 @@ class VLIWSimulator:
     program: Program
     memory_size: int = MEMORY_SIZE
     max_cycles: int = 500_000_000
+    #: "fast" = load-time verification + pre-decoded engine;
+    #: "checked" = per-cycle reference implementation
+    mode: str = "fast"
     memory: DataMemory = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.mode not in ("fast", "checked"):
+            raise ValueError(f"unknown simulation mode {self.mode!r}")
         self.memory = DataMemory(self.memory_size)
         self.regs: dict[PhysReg, int] = {}
         self.ra = 0
         #: delayed register writes: (due_cycle, seq, reg, value)
         self.pending_writes: list[tuple[int, int, PhysReg, int]] = []
+        #: fast engine's delayed writes: (due_cycle, seq, rf_list, idx, value)
+        self._pending_slot_writes: list = []
         self._seq = 0
 
     def preload(self, data_init: list[tuple[int, bytes]]) -> None:
@@ -62,6 +76,19 @@ class VLIWSimulator:
         self._seq += 1
         heapq.heappush(self.pending_writes, (cycle, self._seq, reg, value))
 
+    def _write_later_slot(self, cycle: int, regs: list, idx: int, value: int) -> None:
+        """Fast-engine variant of :meth:`_write_later` writing straight into
+        a pre-resolved register-file slot."""
+        self._seq += 1
+        heapq.heappush(self._pending_slot_writes, (cycle, self._seq, regs, idx, value))
+
+    def _sync_regs_from_fast(self, rfs: dict[str, list[int]]) -> None:
+        """Mirror the fast engine's final register state into ``self.regs``
+        so callers observe the same post-run API in both modes."""
+        for rf_name, values in rfs.items():
+            for idx, value in enumerate(values):
+                self.regs[PhysReg(rf_name, idx)] = value
+
     def _commit_due(self, cycle: int) -> None:
         """Commit writes whose write-back cycle has passed (visible now)."""
         while self.pending_writes and self.pending_writes[0][0] < cycle:
@@ -69,6 +96,13 @@ class VLIWSimulator:
             self.regs[reg] = value
 
     def run(self) -> VLIWResult:
+        if self.mode == "fast":
+            return run_vliw_fast(self)
+        return self._run_checked()
+
+    def _run_checked(self) -> VLIWResult:
+        """Reference implementation; the pre-decoded fast engine must agree
+        with this path bit- and cycle-exactly."""
         machine = self.program.machine
         jl = machine.jump_latency
         instrs = self.program.instrs

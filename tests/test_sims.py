@@ -48,6 +48,71 @@ class TestDataMemory:
         mem.preload(4, b"\x2a\x00\x00\x00")
         assert mem.load("ldw", 4) == 42
 
+    def test_boundary_accesses_exact_fit(self):
+        # The last legal address for each width is size - width.
+        mem = DataMemory(16)
+        mem.store("stw", 12, 0xAABBCCDD)
+        assert mem.load("ldw", 12) == 0xAABBCCDD
+        mem.store("sth", 14, 0x1234)
+        assert mem.load("ldhu", 14) == 0x1234
+        mem.store("stq", 15, 0x7F)
+        assert mem.load("ldqu", 15) == 0x7F
+
+    def test_boundary_accesses_one_past(self):
+        mem = DataMemory(16)
+        with pytest.raises(SimError):
+            mem.load("ldw", 13)
+        with pytest.raises(SimError):
+            mem.load("ldhu", 15)
+        with pytest.raises(SimError):
+            mem.load("ldqu", 16)
+        with pytest.raises(SimError):
+            mem.store("sth", 15, 0)
+        with pytest.raises(SimError):
+            mem.store("stq", 16, 0)
+
+    def test_negative_address_wraps_then_bounds_checked(self):
+        # Addresses are masked to 32 bits first, so -4 becomes 0xFFFFFFFC,
+        # which is out of range for any small memory -- not a Python
+        # negative-index read of the tail of the bytearray.
+        mem = DataMemory(64)
+        with pytest.raises(SimError):
+            mem.load("ldw", -4)
+        with pytest.raises(SimError):
+            mem.store("stw", -4, 1)
+
+    def test_preload_bounds_checked(self):
+        mem = DataMemory(8)
+        with pytest.raises(SimError):
+            mem.preload(6, b"\x00\x00\x00\x00")
+
+    def test_store_masks_wide_values(self):
+        # Values wider than the access size are truncated, and values wider
+        # than 32 bits are masked before the width truncation.
+        mem = DataMemory(64)
+        mem.store("stw", 0, 0x1_2345_6789)
+        assert mem.load("ldw", 0) == 0x2345_6789
+        mem.store("sth", 8, 0xABCD_1234)
+        assert mem.load("ldhu", 8) == 0x1234
+        mem.store("stq", 12, 0xFF02)
+        assert mem.load("ldqu", 12) == 0x02
+
+    def test_sign_extension_positive_values_unchanged(self):
+        # Sub-word loads of values with the sign bit clear agree between
+        # the signed and unsigned variants.
+        mem = DataMemory(16)
+        mem.store("stq", 0, 0x7F)
+        assert mem.load("ldq", 0) == mem.load("ldqu", 0) == 0x7F
+        mem.store("sth", 2, 0x7FFF)
+        assert mem.load("ldh", 2) == mem.load("ldhu", 2) == 0x7FFF
+
+    def test_unknown_ops_rejected(self):
+        mem = DataMemory(16)
+        with pytest.raises(SimError):
+            mem.load("ldx", 0)
+        with pytest.raises(SimError):
+            mem.store("stx", 0, 1)
+
 
 class TestScalarTiming:
     def _cycles(self, src: str, machine_name: str) -> int:
