@@ -1,0 +1,98 @@
+"""Sweep pipeline benchmark: cold-serial vs cold-parallel vs warm-cache.
+
+Runs the paper's (machine, kernel) evaluation matrix three ways through
+``repro.pipeline.sweep`` against a throwaway artifact store:
+
+* **cold serial** -- empty store, ``jobs=1`` (the pre-pipeline baseline);
+* **cold parallel** -- empty store, one worker per CPU;
+* **warm cache** -- fully populated store, ``jobs=1``.
+
+Asserts that all three produce byte-identical ``EvalResult`` sets and
+(in full mode) that the warm sweep beats cold-serial by at least the
+10x floor the pipeline was built to deliver.  The parallel speedup is
+reported but not asserted -- it tracks the runner's core count.
+
+Run:  pytest benchmarks/bench_sweep.py -s
+      (REPRO_BENCH_FULL=1 sweeps all 8 kernels over all 13 machines)
+
+Smoke mode (for CI):  REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_sweep.py -s
+runs 1 machine x 2 kernels with jobs=2 and skips the hard speedup floor
+(shared CI runners have too much timing noise for a ratio assert).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.pipeline import ArtifactStore, sweep
+
+#: minimum warm-cache speedup over cold-serial required in full runs
+WARM_SPEEDUP_FLOOR = 10.0
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _matrix(kernels) -> tuple[tuple[str, ...] | None, tuple[str, ...]]:
+    if _smoke():
+        return ("m-tta-2",), ("mips", "motion")
+    return None, kernels  # None = all 13 design points
+
+
+def _result_bytes(outcome) -> bytes:
+    return json.dumps(
+        [r.to_dict() for r in outcome.results.values()], sort_keys=True
+    ).encode()
+
+
+def test_sweep_pipeline(kernels, tmp_path, capsys):
+    machines, bench_kernels = _matrix(kernels)
+    jobs = 2 if _smoke() else max(2, os.cpu_count() or 1)
+    store = ArtifactStore(tmp_path / "artifacts")
+
+    def timed(**kwargs):
+        start = time.perf_counter()
+        outcome = sweep(machines=machines, kernels=bench_kernels,
+                        store=store, **kwargs)
+        elapsed = time.perf_counter() - start
+        assert outcome.ok, outcome.errors
+        return outcome, elapsed
+
+    cold_serial, t_serial = timed(jobs=1)
+    store.clear()
+    cold_parallel, t_parallel = timed(jobs=jobs)
+    warm, t_warm = timed(jobs=1)
+
+    # all three paths must agree byte-for-byte
+    assert _result_bytes(cold_parallel) == _result_bytes(cold_serial)
+    assert _result_bytes(warm) == _result_bytes(cold_serial)
+    assert warm.stats.cache_hits == warm.stats.total
+
+    pairs = cold_serial.stats.total
+    with capsys.disabled():
+        print()
+        print(f"sweep matrix: {pairs} pairs, jobs={jobs}")
+        print(f"{'configuration':15s} {'wall':>9s} {'pairs/s':>9s} {'speedup':>8s}")
+        for label, elapsed in (
+            ("cold serial", t_serial),
+            ("cold parallel", t_parallel),
+            ("warm cache", t_warm),
+        ):
+            print(
+                f"{label:15s} {elapsed:8.2f}s {pairs / elapsed:9.1f} "
+                f"{t_serial / elapsed:7.1f}x"
+            )
+
+    if _smoke():
+        # CI: correctness + the cache actually being exercised is the
+        # signal; shared-runner timing is too noisy for a hard ratio.
+        assert t_warm < t_serial
+    else:
+        warm_speedup = t_serial / t_warm
+        assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+            f"warm-cache sweep only {warm_speedup:.1f}x faster than "
+            f"cold-serial (target {WARM_SPEEDUP_FLOOR}x)"
+        )

@@ -1,10 +1,17 @@
 """Benchmark configuration.
 
 The benchmarks regenerate every table and figure of the paper.  The full
-8-kernel x 13-machine sweep takes tens of minutes in pure Python, so by
-default the benchmarks run on a representative 4-kernel subset; set
-``REPRO_BENCH_FULL=1`` to sweep all eight CHStone-like kernels (this is
-what EXPERIMENTS.md reports).
+8-kernel x 13-machine sweep takes tens of minutes in pure Python when
+cold, so by default the benchmarks run on a representative 4-kernel
+subset; set ``REPRO_BENCH_FULL=1`` to sweep all eight CHStone-like
+kernels (this is what EXPERIMENTS.md reports).
+
+All table/figure benchmarks consume the sweep through
+``repro.pipeline``'s content-addressed artifact store: a warm store
+(e.g. from a previous benchmark run or a restored CI cache) makes them
+near-instant, and ``repro sweep --jobs N`` can pre-populate it in
+parallel.  The session prints the store traffic at the end; run with
+``REPRO_NO_CACHE=1`` to force every measurement to recompute.
 """
 
 from __future__ import annotations
@@ -28,3 +35,22 @@ def bench_kernels() -> tuple[str, ...]:
 @pytest.fixture(scope="session")
 def kernels():
     return bench_kernels()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def artifact_store_traffic():
+    """Report how much of the benchmark sweep came from the disk cache."""
+    from repro.pipeline import default_store
+
+    yield
+    store = default_store()
+    if store is None:
+        print("\n[artifact store] disabled (REPRO_NO_CACHE)")
+        return
+    stats = store.stats
+    if stats.hits or stats.misses or stats.writes:
+        print(
+            f"\n[artifact store] {store.root}: {stats.hits} hits, "
+            f"{stats.misses} misses, {stats.writes} writes, "
+            f"{stats.corrupt_dropped} corrupt entries rebuilt"
+        )

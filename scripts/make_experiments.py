@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md: paper-vs-measured for every table/figure.
 
-Runs the full 8-kernel x 13-machine sweep (tens of minutes in pure
-Python) and emits the comparison document to stdout:
+Runs the full 8-kernel x 13-machine sweep and emits the comparison
+document to stdout:
 
-    python scripts/make_experiments.py > EXPERIMENTS.md
+    python scripts/make_experiments.py [--jobs N] > EXPERIMENTS.md
+
+The sweep goes through ``repro.pipeline``'s artifact store: warm re-runs
+take seconds; a cold run takes tens of minutes serially in pure Python,
+so pass ``--jobs`` (or pre-populate with ``python -m repro sweep``).
 """
 
 from __future__ import annotations
 
+import argparse
 import math
 import sys
 
@@ -40,7 +45,14 @@ def rel_bits(sweep, machine: str, baseline: str, kernel: str) -> float:
 
 
 def main() -> int:
-    sweep = run_sweep()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for cold sweep pairs (warm pairs come "
+        "from the artifact store regardless)",
+    )
+    args = parser.parse_args()
+    sweep = run_sweep(jobs=args.jobs)
 
     emit("# EXPERIMENTS — paper vs. measured")
     emit()

@@ -6,13 +6,18 @@ Commands:
 * ``kernels`` -- list the CHStone-like workloads.
 * ``run FILE.mc -m MACHINE`` -- compile a MiniC file and simulate it.
 * ``asm FILE.mc -m MACHINE`` -- print the scheduled assembly listing.
-* ``report [--kernels a,b,..]`` -- regenerate the paper's tables/figures.
+* ``report [--kernels a,b,..] [--machines a,b,..]`` -- regenerate the
+  paper's tables/figures (optionally on a subset).
+* ``sweep`` -- run the (machine, kernel) evaluation matrix through the
+  parallel, disk-cached pipeline (``--jobs``, ``--machines``,
+  ``--kernels``, ``--no-cache``, ``--refresh``, ``--json``).
 * ``synth MACHINE`` -- print the analytic synthesis report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -91,17 +96,103 @@ def _cmd_asm(args) -> int:
     return 0
 
 
+def _parse_subsets(args) -> tuple[tuple[str, ...], tuple[str, ...] | None]:
+    """Shared ``--kernels``/``--machines`` parsing and validation.
+
+    Returns ``(kernels, machines)`` with ``machines=None`` when no
+    subset was requested; raises ``ValueError`` for unknown names (both
+    ``report`` and ``sweep`` use this and turn it into exit code 2).
+    """
+    from repro.kernels import KERNELS
+    from repro.pipeline import parse_subset
+
+    kernels = parse_subset(args.kernels, KERNELS, "kernel")
+    machines = (
+        parse_subset(args.machines, preset_names(), "machine")
+        if getattr(args, "machines", None)
+        else None
+    )
+    return kernels, machines
+
+
 def _cmd_report(args) -> int:
     from repro.eval import render_all
-    from repro.kernels import KERNELS
 
-    kernels = tuple(args.kernels.split(",")) if args.kernels else KERNELS
-    for kernel in kernels:
-        if kernel not in KERNELS:
-            print(f"unknown kernel {kernel!r}; known: {', '.join(KERNELS)}", file=sys.stderr)
-            return 2
-    print(render_all(kernels))
+    try:
+        kernels, machines = _parse_subsets(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_all(kernels, machines))
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.pipeline import ArtifactStore, default_store, sweep
+
+    try:
+        kernels, machines = _parse_subsets(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else default_store()
+    if args.clear_cache:
+        if store is None:
+            print("no cache to clear (cache disabled)", file=sys.stderr)
+        else:
+            removed = store.clear()
+            print(f"cleared {removed} cache entries from {store.root}", file=sys.stderr)
+
+    def _progress(done: int, total: int, task, outcome) -> None:
+        if args.quiet:
+            return
+        from repro.pipeline import EvalResult
+
+        if isinstance(outcome, EvalResult):
+            detail = f"{outcome.cycles} cycles"
+        else:
+            detail = f"FAILED: {outcome.error_type}: {outcome.message.splitlines()[0]}"
+        print(
+            f"[{done:3d}/{total}] {task.machine:10s} {task.kernel:10s} {detail}",
+            file=sys.stderr,
+        )
+
+    outcome = sweep(
+        machines=machines,
+        kernels=kernels,
+        mode=args.mode,
+        jobs=args.jobs,
+        retries=args.retries,
+        store=store,
+        use_cache=not args.no_cache,
+        refresh=args.refresh,
+        progress=_progress,
+    )
+    stats = outcome.stats
+    print(
+        f"swept {stats.total} pairs in {stats.elapsed_s:.2f}s "
+        f"({stats.cache_hits} cached, {stats.computed} computed, "
+        f"{stats.failed} failed, jobs={args.jobs})",
+        file=sys.stderr,
+    )
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"{'machine':10s} {'kernel':10s} {'cycles':>10s} {'instrs':>7s} "
+              f"{'width':>6s} {'runtime':>10s}")
+        for result in outcome.results.values():
+            print(
+                f"{result.machine:10s} {result.kernel:10s} {result.cycles:10d} "
+                f"{result.instruction_count:7d} {result.instruction_width:5d}b "
+                f"{result.runtime_us:8.1f}us"
+            )
+        for error in outcome.errors.values():
+            print(
+                f"{error.machine:10s} {error.kernel:10s} "
+                f"ERROR {error.error_type} after {error.attempts} attempt(s): "
+                f"{error.message.splitlines()[0] if error.message else ''}"
+            )
+    return 0 if outcome.ok else 1
 
 
 def _cmd_synth(args) -> int:
@@ -154,8 +245,55 @@ def main(argv: list[str] | None = None) -> int:
     p_asm.set_defaults(fn=_cmd_asm)
 
     p_rep = sub.add_parser("report", help="regenerate the paper's tables/figures")
-    p_rep.add_argument("--kernels", default=None, help="comma-separated subset")
+    p_rep.add_argument("--kernels", default=None, help="comma-separated kernel subset")
+    p_rep.add_argument(
+        "--machines",
+        default=None,
+        help="comma-separated design-point subset (group baselines are "
+        "still measured so relative columns keep the paper's normalisation)",
+    )
     p_rep.set_defaults(fn=_cmd_report)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="evaluate the (machine, kernel) matrix through the "
+        "parallel, disk-cached pipeline",
+    )
+    p_sweep.add_argument("--kernels", default=None, help="comma-separated kernel subset")
+    p_sweep.add_argument("--machines", default=None, help="comma-separated machine subset")
+    p_sweep.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, in-process)",
+    )
+    p_sweep.add_argument(
+        "--mode", choices=("fast", "checked"), default="fast",
+        help="simulation engine for computed pairs",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failing pair before it is recorded as an error",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk artifact store",
+    )
+    p_sweep.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every pair and overwrite its cache entry",
+    )
+    p_sweep.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete all store entries before sweeping",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/artifacts)",
+    )
+    p_sweep.add_argument("--json", action="store_true", help="JSON results on stdout")
+    p_sweep.add_argument("-q", "--quiet", action="store_true",
+                         help="suppress per-pair progress on stderr")
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_syn = sub.add_parser("synth", help="analytic synthesis report")
     p_syn.add_argument("machine", choices=preset_names())

@@ -5,19 +5,23 @@ from __future__ import annotations
 import math
 
 from repro.eval.runner import run_sweep
-from repro.eval.tables import ISSUE_GROUPS
+from repro.eval.tables import subset_groups
 from repro.fpga import synthesize
 from repro.kernels import KERNELS
 from repro.machine import build_machine, preset_names
 
 
-def figure5(kernels: tuple[str, ...] = KERNELS) -> dict[str, dict[str, dict[str, float]]]:
+def figure5(
+    kernels: tuple[str, ...] = KERNELS,
+    machines: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 5: wall-clock runtimes (cycles / fmax) normalised to the
     group baseline, one bar group per benchmark, one panel per issue
     class.  Returns {panel_baseline: {machine: {kernel: rel_runtime}}}."""
-    sweep = run_sweep(kernels=kernels)
+    groups, sweep_machines = subset_groups(machines)
+    sweep = run_sweep(machines=sweep_machines, kernels=kernels)
     panels: dict[str, dict[str, dict[str, float]]] = {}
-    for baseline, members in ISSUE_GROUPS:
+    for baseline, members in groups:
         panel: dict[str, dict[str, float]] = {}
         for name in members:
             series = {}
@@ -32,11 +36,20 @@ def figure5(kernels: tuple[str, ...] = KERNELS) -> dict[str, dict[str, dict[str,
     return panels
 
 
-def figure6(kernels: tuple[str, ...] = KERNELS) -> dict[str, dict[str, float]]:
+def figure6(
+    kernels: tuple[str, ...] = KERNELS,
+    machines: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, float]]:
     """Figure 6: slice utilisation vs overall execution time (geometric
     mean over the benchmarks, normalised to m-tta-1).  Returns
     {machine: {"slices": n, "runtime": geomean_rel}}."""
-    sweep = run_sweep(kernels=kernels)
+    requested = machines if machines is not None else preset_names()
+    # m-tta-1 is the normalisation reference; always measure it even
+    # when it is filtered out of the emitted points.
+    sweep_machines = tuple(
+        dict.fromkeys((*requested, "m-tta-1"))
+    )
+    sweep = run_sweep(machines=sweep_machines, kernels=kernels)
 
     def geomean_runtime(machine: str) -> float:
         logs = [math.log(sweep[(machine, k)].runtime_us) for k in kernels]
@@ -44,7 +57,7 @@ def figure6(kernels: tuple[str, ...] = KERNELS) -> dict[str, dict[str, float]]:
 
     reference = geomean_runtime("m-tta-1")
     points: dict[str, dict[str, float]] = {}
-    for name in preset_names():
+    for name in requested:
         report = synthesize(build_machine(name))
         points[name] = {
             "slices": float(report.resources.slices),

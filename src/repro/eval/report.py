@@ -24,28 +24,40 @@ def format_table(rows: list[dict], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def render_all(kernels: tuple[str, ...] | None = None) -> str:
-    """Regenerate every table and figure as one report string."""
+def render_all(
+    kernels: tuple[str, ...] | None = None,
+    machines: tuple[str, ...] | None = None,
+) -> str:
+    """Regenerate every table and figure as one report string.
+
+    *machines* restricts the emitted rows/points to a subset of the
+    design points; each surviving issue group's baseline (and figure 6's
+    ``m-tta-1`` reference) is still measured so relative values keep the
+    paper's normalisation.
+    """
     from repro.kernels import KERNELS
 
     kernels = kernels or KERNELS
     parts = [
-        format_table(table2(kernels), "Table II: instruction widths and program image sizes"),
+        format_table(
+            table2(kernels, machines),
+            "Table II: instruction widths and program image sizes",
+        ),
         "",
-        format_table(table3(), "Table III: FPGA resources and fmax"),
+        format_table(table3(machines), "Table III: FPGA resources and fmax"),
         "",
-        format_table(table4(kernels), "Table IV: cycle counts"),
+        format_table(table4(kernels, machines), "Table IV: cycle counts"),
         "",
         "Figure 5: relative runtimes (cycles/fmax, normalised per panel)",
     ]
-    for baseline, panel in figure5(kernels).items():
+    for baseline, panel in figure5(kernels, machines).items():
         parts.append(f"  panel normalised to {baseline}:")
         for machine, series in panel.items():
             values = "  ".join(f"{k}={v}" for k, v in series.items())
             parts.append(f"    {machine:10s} {values}")
     parts.append("")
     parts.append("Figure 6: slices vs geomean runtime (normalised to m-tta-1)")
-    for machine, point in figure6(kernels).items():
+    for machine, point in figure6(kernels, machines).items():
         parts.append(
             f"    {machine:10s} slices={point['slices']:7.0f} runtime={point['runtime']}"
         )

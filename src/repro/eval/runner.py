@@ -1,83 +1,72 @@
 """The compile+simulate sweep underlying every table and figure.
 
-``run_sweep`` compiles each kernel for each design point, runs it on the
-cycle-accurate simulator, asserts the kernel's self-check passed, and
-collects program-size/cycle/synthesis facts.  Results are cached
-process-wide so the five table/figure generators and the benchmark
-harness share one sweep.
+``run_sweep`` measures each kernel on each design point through the
+:mod:`repro.pipeline` subsystem: results are served from the
+content-addressed on-disk artifact store when warm (so a re-run of the
+full paper reproduction is near-instant), computed through the shared
+task executor when cold (optionally in parallel via ``jobs=``), and
+memoised in-process so the five table/figure generators and the
+benchmark harness share one sweep *object-identically*, exactly as the
+old ``lru_cache`` layer did.
+
+This module keeps the historical API surface — ``EvalResult``,
+``run_sweep`` and ``sweep_cache_clear`` — so the evaluation layer and
+its tests are untouched by the pipeline rewrite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
+from repro.pipeline.sweep import sweep as _pipeline_sweep
 
-from repro.backend import compile_for_machine
-from repro.fpga import synthesize
-from repro.kernels import KERNELS, compile_kernel
-from repro.machine import build_machine, encode_machine, preset_names
-from repro.sim import run_compiled
+# Re-exported for backwards compatibility: EvalResult historically lived
+# here; it now belongs to the pipeline layer.
+from repro.pipeline.types import EvalResult, SweepFailure  # noqa: F401
 
-
-@dataclass(frozen=True)
-class EvalResult:
-    """One (machine, kernel) measurement."""
-
-    machine: str
-    kernel: str
-    exit_code: int
-    cycles: int
-    instruction_count: int
-    instruction_width: int
-    fmax_mhz: float
-
-    @property
-    def program_bits(self) -> int:
-        return self.instruction_count * self.instruction_width
-
-    @property
-    def runtime_us(self) -> float:
-        return self.cycles / self.fmax_mhz
-
-
-@lru_cache(maxsize=None)
-def _measure(machine_name: str, kernel_name: str) -> EvalResult:
-    machine = build_machine(machine_name)
-    module = compile_kernel(kernel_name)
-    compiled = compile_for_machine(module, machine)
-    result = run_compiled(compiled)
-    if result.exit_code != 0:
-        raise AssertionError(
-            f"kernel {kernel_name} self-check failed on {machine_name}: "
-            f"exit={result.exit_code}"
-        )
-    encoding = encode_machine(machine)
-    report = synthesize(machine)
-    return EvalResult(
-        machine=machine_name,
-        kernel=kernel_name,
-        exit_code=result.exit_code,
-        cycles=result.cycles,
-        instruction_count=compiled.instruction_count,
-        instruction_width=encoding.instruction_width,
-        fmax_mhz=report.fmax_mhz,
-    )
+#: process-local memo so repeated ``run_sweep`` calls return the *same*
+#: EvalResult objects (tests and generators rely on identity), keyed by
+#: (machine, kernel) for the default fast/optimised configuration.
+_MEMO: dict[tuple[str, str], EvalResult] = {}
 
 
 def run_sweep(
     machines: tuple[str, ...] | None = None,
     kernels: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> dict[tuple[str, str], EvalResult]:
-    """Measure every (machine, kernel) pair; cached across calls."""
+    """Measure every (machine, kernel) pair; cached across calls.
+
+    Serves from (in order): the in-process memo, the on-disk artifact
+    store, fresh computation (fanned out over *jobs* worker processes
+    when ``jobs > 1``).  Any failing pair raises
+    :class:`~repro.pipeline.types.SweepFailure` (an ``AssertionError``
+    subclass, matching the historical abort-on-failure behaviour of the
+    serial sweep).
+    """
+    from repro.kernels import KERNELS
+    from repro.machine import preset_names
+
     machines = machines or preset_names()
     kernels = kernels or KERNELS
-    return {
-        (m, k): _measure(m, k)
-        for m in machines
-        for k in kernels
-    }
+    wanted = [(m, k) for m in machines for k in kernels]
+    missing = sorted({m for m, k in wanted if (m, k) not in _MEMO})
+    missing_kernels = sorted({k for m, k in wanted if (m, k) not in _MEMO})
+    if missing:
+        outcome = _pipeline_sweep(
+            machines=tuple(missing), kernels=tuple(missing_kernels), jobs=jobs
+        )
+        outcome.raise_on_error()
+        for pair, result in outcome.results.items():
+            _MEMO.setdefault(pair, result)
+    return {pair: _MEMO[pair] for pair in wanted}
 
 
 def sweep_cache_clear() -> None:
-    """Drop all cached measurements (tests use this)."""
-    _measure.cache_clear()
+    """Drop the in-process memo (tests use this).
+
+    The on-disk artifact store is *not* touched: it is content-addressed
+    (machine description + kernel source + toolchain digest), so stale
+    entries cannot be served — clearing it is a disk-space operation,
+    available via ``repro sweep --clear-cache`` or
+    ``ArtifactStore.clear()``.
+    """
+    _MEMO.clear()

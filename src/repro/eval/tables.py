@@ -20,15 +20,45 @@ ISSUE_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
 )
 
 
-def table2(kernels: tuple[str, ...] = KERNELS) -> list[dict]:
+def subset_groups(
+    machines: tuple[str, ...] | None,
+) -> tuple[tuple[tuple[str, tuple[str, ...]], ...], tuple[str, ...]]:
+    """Restrict the presentation groups to a machine subset.
+
+    Returns ``(groups, sweep_machines)``: groups keep only the requested
+    members (whole group dropped when none requested), while
+    ``sweep_machines`` additionally includes each surviving group's
+    baseline — relative columns stay normalised exactly as the paper
+    normalises them even when the baseline row itself is filtered out.
+    """
+    if machines is None:
+        return ISSUE_GROUPS, tuple(m for _, members in ISSUE_GROUPS for m in members)
+    groups = []
+    needed: list[str] = []
+    for baseline, members in ISSUE_GROUPS:
+        kept = tuple(m for m in members if m in machines)
+        if not kept:
+            continue
+        groups.append((baseline, kept))
+        for name in (baseline, *kept):
+            if name not in needed:
+                needed.append(name)
+    return tuple(groups), tuple(needed)
+
+
+def table2(
+    kernels: tuple[str, ...] = KERNELS,
+    machines: tuple[str, ...] | None = None,
+) -> list[dict]:
     """Table II: instruction widths and program image sizes.
 
     Absolute sizes in kilobits for the baselines; relative factors for
     the other design points, exactly as the paper reports them.
     """
-    sweep = run_sweep(kernels=kernels)
+    groups, sweep_machines = subset_groups(machines)
+    sweep = run_sweep(machines=sweep_machines, kernels=kernels)
     rows: list[dict] = []
-    for baseline, members in ISSUE_GROUPS:
+    for baseline, members in groups:
         base_width = encode_machine(build_machine(baseline)).instruction_width
         for name in members:
             width = encode_machine(build_machine(name)).instruction_width
@@ -48,11 +78,12 @@ def table2(kernels: tuple[str, ...] = KERNELS) -> list[dict]:
     return rows
 
 
-def table3() -> list[dict]:
+def table3(machines: tuple[str, ...] | None = None) -> list[dict]:
     """Table III: RF ports, fmax and resource usage (relative columns
     normalised to the group baseline, as in the paper)."""
+    groups, _ = subset_groups(machines)
     rows: list[dict] = []
-    for baseline, members in ISSUE_GROUPS:
+    for baseline, members in groups:
         base = synthesize(build_machine(baseline))
         for name in members:
             machine = build_machine(name)
@@ -79,11 +110,15 @@ def table3() -> list[dict]:
     return rows
 
 
-def table4(kernels: tuple[str, ...] = KERNELS) -> list[dict]:
+def table4(
+    kernels: tuple[str, ...] = KERNELS,
+    machines: tuple[str, ...] | None = None,
+) -> list[dict]:
     """Table IV: cycle counts (absolute for baselines, relative else)."""
-    sweep = run_sweep(kernels=kernels)
+    groups, sweep_machines = subset_groups(machines)
+    sweep = run_sweep(machines=sweep_machines, kernels=kernels)
     rows: list[dict] = []
-    for baseline, members in ISSUE_GROUPS:
+    for baseline, members in groups:
         for name in members:
             row: dict = {"machine": name}
             for kernel in kernels:

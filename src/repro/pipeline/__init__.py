@@ -1,0 +1,73 @@
+"""Parallel sweep engine with a content-addressed on-disk artifact store.
+
+The design-space studies behind every table and figure re-evaluate the
+same (machine, kernel) matrix over and over.  This package makes that
+cheap and robust:
+
+* :mod:`repro.pipeline.fingerprint` — stable content keys over the
+  machine description, kernel source text, toolchain digest and flags;
+* :mod:`repro.pipeline.store` — an on-disk artifact cache with atomic
+  writes and corrupted-entry detection-and-rebuild;
+* :mod:`repro.pipeline.executor` — a multiprocessing fan-out engine
+  with per-task failure isolation, bounded retries and deterministic
+  result ordering;
+* :mod:`repro.pipeline.sweep` — the orchestration layer gluing the
+  three together (and the ``repro sweep`` CLI's engine).
+
+Quickstart::
+
+    from repro.pipeline import sweep
+
+    outcome = sweep(machines=("m-tta-2",), kernels=("mips", "motion"),
+                    jobs=4)
+    for (m, k), r in outcome.results.items():
+        print(m, k, r.cycles)
+"""
+
+from repro.pipeline.executor import execute_task, run_tasks
+from repro.pipeline.fingerprint import (
+    describe_machine,
+    fingerprint,
+    task_fingerprint,
+    toolchain_fingerprint,
+)
+from repro.pipeline.store import (
+    ArtifactStore,
+    CACHE_DIR_ENV,
+    NO_CACHE_ENV,
+    default_cache_dir,
+    default_store,
+)
+from repro.pipeline.sweep import build_tasks, compile_cached, parse_subset, sweep
+from repro.pipeline.types import (
+    EvalResult,
+    SweepFailure,
+    SweepOutcome,
+    SweepStats,
+    SweepTask,
+    TaskError,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CACHE_DIR_ENV",
+    "EvalResult",
+    "NO_CACHE_ENV",
+    "SweepFailure",
+    "SweepOutcome",
+    "SweepStats",
+    "SweepTask",
+    "TaskError",
+    "build_tasks",
+    "compile_cached",
+    "default_cache_dir",
+    "default_store",
+    "describe_machine",
+    "execute_task",
+    "fingerprint",
+    "parse_subset",
+    "run_tasks",
+    "sweep",
+    "task_fingerprint",
+    "toolchain_fingerprint",
+]

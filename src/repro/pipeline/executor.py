@@ -1,0 +1,148 @@
+"""Task execution: the measurement worker and the (optionally parallel)
+fan-out engine.
+
+``execute_task`` is the single source of truth for how one (machine,
+kernel) pair is measured — the serial path, the multiprocessing pool and
+the legacy ``repro.eval.runner`` wrapper all go through it, which is
+what makes "parallel results are byte-identical to serial results" a
+structural property rather than a test-enforced one.
+
+``run_tasks`` fans a task list out over a ``multiprocessing`` pool with:
+
+* **per-task failure isolation** — a raising pair becomes a
+  :class:`~repro.pipeline.types.TaskError` carrying the full traceback;
+  every other pair still completes;
+* **bounded retries** — failed tasks are resubmitted up to *retries*
+  times (guards against transient faults, e.g. an OOM-killed worker);
+* **deterministic ordering** — completion order never leaks out; the
+  caller receives outcomes in task-list order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from collections.abc import Callable, Sequence
+
+from repro.pipeline.types import EvalResult, SweepTask, TaskError
+
+#: callback signature: (done_count, total, task, outcome)
+ProgressFn = Callable[[int, int, SweepTask, "EvalResult | TaskError"], None]
+
+
+def execute_task(task: SweepTask) -> EvalResult:
+    """Measure one (machine, kernel) pair: compile, simulate, synthesise.
+
+    Raises on any failure (compile error, simulator fault, kernel
+    self-check failure); :func:`run_tasks` converts that into a
+    :class:`TaskError`.
+    """
+    from repro.backend import compile_for_machine
+    from repro.fpga import synthesize
+    from repro.frontend import compile_source
+    from repro.machine import build_machine, encode_machine
+    from repro.sim import run_compiled
+
+    machine = build_machine(task.machine)
+    module = compile_source(
+        task.source, module_name=task.kernel, optimize=task.optimize
+    )
+    compiled = compile_for_machine(module, machine)
+    result = run_compiled(compiled, mode=task.mode)
+    if result.exit_code != 0:
+        raise AssertionError(
+            f"kernel {task.kernel} self-check failed on {task.machine}: "
+            f"exit={result.exit_code}"
+        )
+    encoding = encode_machine(machine)
+    report = synthesize(machine)
+    return EvalResult(
+        machine=task.machine,
+        kernel=task.kernel,
+        exit_code=result.exit_code,
+        cycles=result.cycles,
+        instruction_count=compiled.instruction_count,
+        instruction_width=encoding.instruction_width,
+        fmax_mhz=report.fmax_mhz,
+    )
+
+
+def _attempt(indexed: tuple[int, SweepTask]) -> tuple[int, EvalResult | TaskError]:
+    """Pool worker: never raises; failures come back as TaskError.
+
+    Returns plain dataclasses (no Machine/Program objects) so the
+    pickled payload crossing the process boundary stays tiny.
+    """
+    index, task = indexed
+    try:
+        return index, execute_task(task)
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        return index, TaskError(
+            machine=task.machine,
+            kernel=task.kernel,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_tasks(
+    tasks: Sequence[SweepTask],
+    jobs: int = 1,
+    retries: int = 1,
+    progress: ProgressFn | None = None,
+) -> list[EvalResult | TaskError]:
+    """Execute *tasks*, serially (``jobs<=1``) or over a process pool.
+
+    Returns one outcome per task, **in task order**.  ``retries`` bounds
+    how many times a failing task is re-attempted (its final
+    :class:`TaskError` records the attempt count).
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    outcomes: list[EvalResult | TaskError | None] = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    pending = list(enumerate(tasks))
+    done = 0
+    while pending:
+        next_pending: list[tuple[int, SweepTask]] = []
+        for index, outcome in _iter_round(pending, jobs):
+            attempts[index] += 1
+            if isinstance(outcome, TaskError):
+                if attempts[index] <= retries:
+                    next_pending.append((index, tasks[index]))
+                    continue
+                outcome = TaskError(
+                    machine=outcome.machine,
+                    kernel=outcome.kernel,
+                    error_type=outcome.error_type,
+                    message=outcome.message,
+                    traceback=outcome.traceback,
+                    attempts=attempts[index],
+                )
+            outcomes[index] = outcome
+            done += 1
+            if progress:
+                progress(done, len(tasks), tasks[index], outcome)
+        pending = next_pending
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]
+
+
+def _iter_round(pending: list[tuple[int, SweepTask]], jobs: int):
+    """Yield ``(index, outcome)`` as each pending task completes."""
+    if jobs <= 1 or len(pending) <= 1:
+        for item in pending:
+            yield _attempt(item)
+        return
+    ctx = _pool_context()
+    workers = min(jobs, len(pending))
+    with ctx.Pool(processes=workers) as pool:
+        # unordered: slow pairs (jpeg on mblaze) don't serialise the rest;
+        # the index restores deterministic order afterwards.
+        yield from pool.imap_unordered(_attempt, pending)

@@ -1,0 +1,141 @@
+"""Stable content fingerprints for sweep artifacts.
+
+A cache entry's key must change exactly when its result could change:
+
+* the **machine description** — every architectural field of the design
+  point (function units and their opsets, register files, bus
+  connectivity, immediate widths, scalar timing), canonically serialised
+  with all sets sorted so iteration order never leaks into the key;
+* the **kernel source text** — the exact MiniC text that will be
+  compiled (not a file path or mtime);
+* the **toolchain** — the package version *plus* a digest over every
+  ``repro`` source file, so editing the scheduler or the simulator
+  invalidates results computed by the old code;
+* the **flags** — simulation mode and optimisation level.
+
+Keys are hex SHA-256 digests, deterministic across processes, machines
+and Python versions (``PYTHONHASHSEED`` never enters the picture).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+
+from repro.machine.machine import Machine
+
+
+def describe_machine(machine: Machine) -> dict:
+    """Canonical, JSON-serialisable description of a design point.
+
+    Every field that can influence compilation, simulation or synthesis
+    is included; every unordered collection is sorted.
+    """
+    desc: dict = {
+        "name": machine.name,
+        "style": machine.style.value,
+        "issue_width": machine.issue_width,
+        "simm_bits": machine.simm_bits,
+        "jump_latency": machine.jump_latency,
+        "function_units": [
+            {"name": fu.name, "kind": fu.kind.value, "ops": sorted(fu.ops)}
+            for fu in machine.all_units
+        ],
+        "register_files": [
+            {
+                "name": rf.name,
+                "size": rf.size,
+                "width": rf.width,
+                "read_ports": rf.read_ports,
+                "write_ports": rf.write_ports,
+            }
+            for rf in machine.register_files
+        ],
+        "buses": [
+            {
+                "index": bus.index,
+                "sources": sorted(bus.sources),
+                "destinations": sorted(bus.destinations),
+            }
+            for bus in machine.buses
+        ],
+    }
+    if machine.scalar_timing is not None:
+        timing = machine.scalar_timing
+        desc["scalar_timing"] = {
+            "load_extra": timing.load_extra,
+            "store_extra": timing.store_extra,
+            "mul_extra": timing.mul_extra,
+            "shift_extra": timing.shift_extra,
+            "taken_branch_extra": timing.taken_branch_extra,
+            "untaken_branch_extra": timing.untaken_branch_extra,
+            "call_extra": timing.call_extra,
+            "pipeline_stages": timing.pipeline_stages,
+        }
+    return desc
+
+
+def _canonical_json(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@lru_cache(maxsize=1)
+def toolchain_fingerprint() -> str:
+    """Digest of the toolchain: package version + all ``repro`` sources.
+
+    Hashing the source tree (path-relative names and contents, sorted)
+    means any code change — a scheduler tweak, a simulator fix, a new
+    analytic-model coefficient — retires every cached artifact the old
+    code produced.  Cheap: computed once per process over ~100 files.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(f"repro=={repro.__version__}\n".encode())
+    # .mc kernel sources are deliberately excluded: each task hashes the
+    # exact source text it compiles, so editing one kernel invalidates
+    # only that kernel's entries, not the whole store.
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        digest.update(f"{rel}\n".encode())
+        digest.update(path.read_bytes())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def fingerprint(
+    machine: Machine,
+    source: str,
+    *,
+    mode: str = "fast",
+    optimize: bool = True,
+    toolchain: str | None = None,
+) -> str:
+    """Hex SHA-256 key for one (machine, kernel-source, flags) artifact.
+
+    *toolchain* defaults to :func:`toolchain_fingerprint`; tests inject
+    synthetic values to exercise invalidation without editing sources.
+    """
+    payload = {
+        "machine": describe_machine(machine),
+        "source": source,
+        "toolchain": toolchain if toolchain is not None else toolchain_fingerprint(),
+        "flags": {"mode": mode, "optimize": bool(optimize)},
+    }
+    return hashlib.sha256(_canonical_json(payload)).hexdigest()
+
+
+def task_fingerprint(task, *, toolchain: str | None = None) -> str:
+    """Fingerprint for a :class:`~repro.pipeline.types.SweepTask`."""
+    from repro.machine import build_machine
+
+    return fingerprint(
+        build_machine(task.machine),
+        task.source,
+        mode=task.mode,
+        optimize=task.optimize,
+        toolchain=toolchain,
+    )

@@ -1,0 +1,220 @@
+"""Content-addressed on-disk artifact store.
+
+Layout (under the store root, default ``~/.cache/repro/artifacts`` or
+``$REPRO_CACHE_DIR``)::
+
+    results/<k0k1>/<key>.json    # EvalResult entries (JSON payload)
+    programs/<k0k1>/<key>.pkl    # CompiledProgram entries (pickle payload)
+
+where ``<key>`` is the hex SHA-256 content fingerprint from
+:mod:`repro.pipeline.fingerprint` and ``<k0k1>`` its first two hex
+digits (fan-out so no directory grows unbounded).
+
+Every entry file is self-verifying: a one-line header carrying the
+SHA-256 of the payload bytes, then the payload.  Loads re-hash the
+payload; any mismatch, truncation, unparseable header or undecodable
+payload classifies the entry as **corrupt**, deletes it, and returns a
+miss so the caller transparently rebuilds it.  Writes go through a
+temporary file in the same directory followed by :func:`os.replace`, so
+concurrent writers (the multiprocessing pool, parallel CI jobs on a
+shared cache volume) can never expose a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pipeline.types import EvalResult
+
+_HEADER_PREFIX = b"repro-artifact sha256="
+_KIND_RESULTS = "results"
+_KIND_PROGRAMS = "programs"
+
+#: environment override for the store root
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: set to any non-empty value to disable the default store entirely
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Store root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/artifacts``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "artifacts"
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store's lifetime in this process."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_dropped: int = 0
+
+
+class ArtifactStore:
+    """Content-addressed cache of compiled programs and eval results."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = StoreStats()
+
+    # ---- paths ----------------------------------------------------------
+
+    def _entry_path(self, kind: str, key: str, suffix: str) -> Path:
+        if len(key) < 8 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed artifact key {key!r}")
+        return self.root / kind / key[:2] / f"{key}{suffix}"
+
+    def result_path(self, key: str) -> Path:
+        return self._entry_path(_KIND_RESULTS, key, ".json")
+
+    def program_path(self, key: str) -> Path:
+        return self._entry_path(_KIND_PROGRAMS, key, ".pkl")
+
+    # ---- raw entry I/O --------------------------------------------------
+
+    def _write_entry(self, path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = _HEADER_PREFIX + hashlib.sha256(payload).hexdigest().encode() + b"\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def _read_entry(self, path: Path) -> bytes | None:
+        """Payload bytes, or ``None`` on miss/corruption (corrupt entries
+        are deleted so the caller's rebuild repairs the store)."""
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        newline = blob.find(b"\n")
+        header, payload = blob[: newline + 1], blob[newline + 1 :]
+        if (
+            newline < 0
+            or not header.startswith(_HEADER_PREFIX)
+            or hashlib.sha256(payload).hexdigest().encode()
+            != header[len(_HEADER_PREFIX) : -1]
+        ):
+            self._drop_corrupt(path)
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.stats.corrupt_dropped += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ---- EvalResult entries ---------------------------------------------
+
+    def store_result(self, key: str, result: EvalResult) -> Path:
+        path = self.result_path(key)
+        payload = json.dumps(result.to_dict(), sort_keys=True, indent=0).encode()
+        self._write_entry(path, payload)
+        return path
+
+    def load_result(self, key: str) -> EvalResult | None:
+        path = self.result_path(key)
+        payload = self._read_entry(path)
+        if payload is None:
+            return None
+        try:
+            return EvalResult.from_dict(json.loads(payload))
+        except (ValueError, KeyError, TypeError):
+            # checksum passed but the payload is semantically unusable
+            # (schema bump, hand-edited entry): rebuild it.
+            self.stats.hits -= 1
+            self._drop_corrupt(path)
+            return None
+
+    # ---- CompiledProgram entries ----------------------------------------
+
+    def store_program(self, key: str, compiled) -> Path:
+        path = self.program_path(key)
+        payload = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_entry(path, payload)
+        return path
+
+    def load_program(self, key: str):
+        path = self.program_path(key)
+        payload = self._read_entry(path)
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            self.stats.hits -= 1
+            self._drop_corrupt(path)
+            return None
+
+    # ---- maintenance ----------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for kind in (_KIND_RESULTS, _KIND_PROGRAMS):
+            base = self.root / kind
+            if not base.exists():
+                continue
+            for path in base.rglob("*"):
+                if path.is_file():
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def entry_count(self) -> dict[str, int]:
+        counts = {}
+        for kind in (_KIND_RESULTS, _KIND_PROGRAMS):
+            base = self.root / kind
+            counts[kind] = (
+                sum(1 for p in base.rglob("*") if p.is_file() and not p.name.endswith(".tmp"))
+                if base.exists()
+                else 0
+            )
+        return counts
+
+
+_DEFAULT_STORE: ArtifactStore | None = None
+
+
+def default_store() -> ArtifactStore | None:
+    """Process-wide store at the default location, or ``None`` when the
+    cache is disabled via ``$REPRO_NO_CACHE``."""
+    global _DEFAULT_STORE
+    if os.environ.get(NO_CACHE_ENV):
+        return None
+    if _DEFAULT_STORE is None or _DEFAULT_STORE.root != default_cache_dir():
+        _DEFAULT_STORE = ArtifactStore()
+    return _DEFAULT_STORE

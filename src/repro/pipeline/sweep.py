@@ -1,0 +1,219 @@
+"""Sweep orchestration: cache lookup, fan-out, writeback, ordering.
+
+:func:`sweep` is the one entry point for evaluating a (machine, kernel)
+matrix.  Per pair it:
+
+1. computes the content fingerprint (machine description + kernel
+   source + toolchain digest + flags),
+2. serves the pair from the :class:`~repro.pipeline.store.ArtifactStore`
+   when allowed (``use_cache`` and not ``refresh``),
+3. fans the remaining misses out over
+   :func:`~repro.pipeline.executor.run_tasks` (serial or pool),
+4. writes fresh successes back to the store atomically,
+5. returns a :class:`~repro.pipeline.types.SweepOutcome` whose result
+   and error dicts iterate in request order — independent of pool
+   completion order, cache state and job count.
+
+Failures never abort the sweep; they surface as
+:class:`~repro.pipeline.types.TaskError` records in ``outcome.errors``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.pipeline.executor import ProgressFn, run_tasks
+from repro.pipeline.fingerprint import task_fingerprint
+from repro.pipeline.store import ArtifactStore, default_store
+from repro.pipeline.types import (
+    EvalResult,
+    SweepOutcome,
+    SweepTask,
+    TaskError,
+)
+
+
+def parse_subset(
+    spec: str | Iterable[str] | None,
+    known: tuple[str, ...],
+    what: str,
+) -> tuple[str, ...]:
+    """Validate a subset selection against *known* names.
+
+    *spec* may be ``None`` (→ all of *known*, in order), a comma-
+    separated string (CLI form), or an iterable of names.  Unknown names
+    raise ``ValueError`` listing the valid choices; duplicates collapse;
+    the result always follows *known*'s canonical order.
+    """
+    if spec is None:
+        return tuple(known)
+    if isinstance(spec, str):
+        names = [part.strip() for part in spec.split(",") if part.strip()]
+    else:
+        names = list(spec)
+    if not names:
+        raise ValueError(f"empty {what} subset")
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown {what} {', '.join(repr(n) for n in unknown)}; "
+            f"known: {', '.join(known)}"
+        )
+    requested = set(names)
+    return tuple(n for n in known if n in requested)
+
+
+def build_tasks(
+    machines: Iterable[str] | str | None = None,
+    kernels: Iterable[str] | str | None = None,
+    *,
+    sources: dict[str, str] | None = None,
+    mode: str = "fast",
+    optimize: bool = True,
+) -> list[SweepTask]:
+    """The (machine, kernel) matrix as an ordered task list.
+
+    *sources* maps kernel names to MiniC text and defaults to the
+    built-in CHStone-like workloads; passing extra names sweeps ad-hoc
+    workloads through the same cache/executor machinery.
+    """
+    from repro.kernels import KERNELS, kernel_source
+    from repro.machine import preset_names
+
+    machine_names = parse_subset(machines, preset_names(), "machine")
+    if sources is None:
+        kernel_names = parse_subset(kernels, KERNELS, "kernel")
+        sources = {name: kernel_source(name) for name in kernel_names}
+    else:
+        kernel_names = (
+            tuple(sources) if kernels is None
+            else parse_subset(kernels, tuple(sources), "kernel")
+        )
+    return [
+        SweepTask(
+            machine=m,
+            kernel=k,
+            source=sources[k],
+            mode=mode,
+            optimize=optimize,
+        )
+        for m in machine_names
+        for k in kernel_names
+    ]
+
+
+def sweep(
+    machines: Iterable[str] | str | None = None,
+    kernels: Iterable[str] | str | None = None,
+    *,
+    sources: dict[str, str] | None = None,
+    mode: str = "fast",
+    optimize: bool = True,
+    jobs: int = 1,
+    retries: int = 1,
+    store: ArtifactStore | None = None,
+    use_cache: bool = True,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
+) -> SweepOutcome:
+    """Evaluate the (machine, kernel) matrix; see the module docstring.
+
+    ``store=None`` uses the process-default store (which honours
+    ``$REPRO_CACHE_DIR`` / ``$REPRO_NO_CACHE``); ``use_cache=False``
+    neither reads nor writes it; ``refresh=True`` recomputes every pair
+    and overwrites its cache entry.
+    """
+    started = time.perf_counter()
+    tasks = build_tasks(
+        machines, kernels, sources=sources, mode=mode, optimize=optimize
+    )
+    outcome = SweepOutcome()
+    outcome.stats.total = len(tasks)
+
+    active_store = store if store is not None else default_store()
+    if not use_cache:
+        active_store = None
+
+    keys: dict[tuple[str, str], str] = {}
+    misses: list[SweepTask] = []
+    cached: dict[tuple[str, str], EvalResult] = {}
+    for task in tasks:
+        key = task_fingerprint(task) if active_store is not None else ""
+        keys[task.pair] = key
+        if active_store is not None and not refresh:
+            hit = active_store.load_result(key)
+            if hit is not None:
+                cached[task.pair] = hit
+                continue
+        misses.append(task)
+
+    fresh: dict[tuple[str, str], EvalResult | TaskError] = {}
+    if misses:
+        # Progress over the *whole* matrix: cache hits count as already
+        # done, so `done/total` is meaningful regardless of cache state.
+        base_done = len(cached)
+
+        def _progress(done: int, _total: int, task: SweepTask, result) -> None:
+            if progress:
+                progress(base_done + done, len(tasks), task, result)
+
+        for task, result in zip(
+            misses, run_tasks(misses, jobs=jobs, retries=retries, progress=_progress)
+        ):
+            fresh[task.pair] = result
+            if isinstance(result, EvalResult) and active_store is not None:
+                active_store.store_result(keys[task.pair], result)
+    if progress and not misses:
+        # fully warm sweep: still announce completion once per pair
+        for i, task in enumerate(tasks, 1):
+            progress(i, len(tasks), task, cached[task.pair])
+
+    for task in tasks:  # deterministic request order
+        pair = task.pair
+        if pair in cached:
+            outcome.results[pair] = cached[pair]
+            outcome.stats.cache_hits += 1
+        else:
+            result = fresh[pair]
+            if isinstance(result, TaskError):
+                outcome.errors[pair] = result
+                outcome.stats.failed += 1
+                outcome.stats.retried += result.attempts - 1
+            else:
+                outcome.results[pair] = result
+                outcome.stats.computed += 1
+    outcome.stats.elapsed_s = time.perf_counter() - started
+    return outcome
+
+
+def compile_cached(machine_name: str, kernel_name: str, *,
+                   optimize: bool = True,
+                   store: ArtifactStore | None = None):
+    """Compile a built-in kernel for a preset, through the program cache.
+
+    Returns a :class:`repro.backend.CompiledProgram`; a warm store skips
+    the frontend/scheduler entirely (pickle round-trip).  Used by the
+    CLI and available to benchmarks/tools that re-run programs under
+    different simulator settings without paying recompilation.
+    """
+    from repro.backend import compile_for_machine
+    from repro.frontend import compile_source
+    from repro.kernels import kernel_source
+    from repro.machine import build_machine
+    from repro.pipeline.fingerprint import fingerprint
+
+    machine = build_machine(machine_name)
+    source = kernel_source(kernel_name)
+    active_store = store if store is not None else default_store()
+    key = None
+    if active_store is not None:
+        key = fingerprint(machine, source, mode="program", optimize=optimize)
+        hit = active_store.load_program(key)
+        if hit is not None:
+            return hit
+    module = compile_source(source, module_name=kernel_name, optimize=optimize)
+    compiled = compile_for_machine(module, machine)
+    if active_store is not None and key is not None:
+        active_store.store_program(key, compiled)
+    return compiled

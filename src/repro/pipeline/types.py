@@ -1,0 +1,173 @@
+"""Data types shared across the sweep pipeline.
+
+:class:`EvalResult` is the unit of measurement the whole evaluation
+stack consumes (tables, figures, benchmarks).  It historically lived in
+``repro.eval.runner``; it moved here so the pipeline has no dependency
+on the evaluation layer (``repro.eval`` re-exports it unchanged).
+
+:class:`SweepTask` describes one (machine, kernel) measurement request,
+including the kernel *source text* (so callers can sweep ad-hoc
+workloads, and so the content fingerprint can hash exactly what will be
+compiled).  :class:`TaskError` is the structured failure record a
+crashing pair produces instead of killing the sweep, and
+:class:`SweepOutcome` bundles ordered results, errors and cache/timing
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+#: bump when the on-disk ``EvalResult`` JSON layout changes
+RESULT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One (machine, kernel) measurement."""
+
+    machine: str
+    kernel: str
+    exit_code: int
+    cycles: int
+    instruction_count: int
+    instruction_width: int
+    fmax_mhz: float
+
+    @property
+    def program_bits(self) -> int:
+        return self.instruction_count * self.instruction_width
+
+    @property
+    def runtime_us(self) -> float:
+        return self.cycles / self.fmax_mhz
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["schema"] = RESULT_SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EvalResult":
+        if payload.get("schema") != RESULT_SCHEMA:
+            raise ValueError(
+                f"EvalResult schema mismatch: {payload.get('schema')!r} != {RESULT_SCHEMA}"
+            )
+        return cls(
+            machine=str(payload["machine"]),
+            kernel=str(payload["kernel"]),
+            exit_code=int(payload["exit_code"]),
+            cycles=int(payload["cycles"]),
+            instruction_count=int(payload["instruction_count"]),
+            instruction_width=int(payload["instruction_width"]),
+            fmax_mhz=float(payload["fmax_mhz"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One measurement request: compile *source* for *machine*, run it.
+
+    Attributes:
+        machine: preset name of the design point.
+        kernel: display name of the workload.
+        source: MiniC source text (hashed into the fingerprint).
+        mode: simulation engine (``fast`` or ``checked``).
+        optimize: run the IR optimisation pipeline before scheduling.
+    """
+
+    machine: str
+    kernel: str
+    source: str
+    mode: str = "fast"
+    optimize: bool = True
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.machine, self.kernel)
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of one failed (machine, kernel) pair.
+
+    A failing pair never aborts the sweep; it yields one of these with
+    the exception type/message and the full traceback text of the *last*
+    attempt, plus how many attempts were made (1 + retries).
+    """
+
+    machine: str
+    kernel: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int = 1
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.machine, self.kernel)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SweepStats:
+    """Cache and timing accounting for one sweep invocation."""
+
+    total: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    failed: int = 0
+    retried: int = 0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, in deterministic (machine, kernel)
+    request order regardless of completion order."""
+
+    results: dict[tuple[str, str], EvalResult] = field(default_factory=dict)
+    errors: dict[tuple[str, str], TaskError] = field(default_factory=dict)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        """Re-raise the sweep's failures as one exception (compat path
+        for callers that want the pre-pipeline abort-on-failure
+        semantics, e.g. ``repro.eval.runner.run_sweep``)."""
+        if self.errors:
+            first = next(iter(self.errors.values()))
+            summary = ", ".join(f"{m}/{k}" for m, k in self.errors)
+            raise SweepFailure(
+                f"{len(self.errors)} sweep pair(s) failed ({summary}); "
+                f"first: {first.error_type}: {first.message}",
+                errors=tuple(self.errors.values()),
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "results": [r.to_dict() for r in self.results.values()],
+            "errors": [e.to_dict() for e in self.errors.values()],
+            "stats": self.stats.to_dict(),
+        }
+
+
+class SweepFailure(AssertionError):
+    """Raised by :meth:`SweepOutcome.raise_on_error`.
+
+    Subclasses :class:`AssertionError` because the pre-pipeline sweep
+    surfaced kernel self-check failures as ``AssertionError`` and tests
+    or callers may be catching that.
+    """
+
+    def __init__(self, message: str, errors: tuple[TaskError, ...] = ()):
+        super().__init__(message)
+        self.errors = errors

@@ -47,3 +47,55 @@ class TestCLI:
 
     def test_report_rejects_unknown_kernel(self, capsys):
         assert main(["report", "--kernels", "nope"]) == 2
+
+    def test_report_rejects_unknown_machine(self, capsys):
+        assert main(["report", "--machines", "nope"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+
+class TestSweepCLI:
+    def test_sweep_subset(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--machines", "m-tta-1",
+                "--kernels", "mips",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "m-tta-1" in captured.out and "cycles" in captured.out
+        assert "1 computed" in captured.err
+        # warm re-run serves from the store
+        assert main(
+            ["sweep", "--machines", "m-tta-1", "--kernels", "mips",
+             "--cache-dir", str(tmp_path), "-q"]
+        ) == 0
+        assert "1 cached" in capsys.readouterr().err
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        import json
+
+        rc = main(
+            ["sweep", "--machines", "m-tta-1", "--kernels", "mips",
+             "--cache-dir", str(tmp_path), "--json", "-q"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == []
+        [result] = payload["results"]
+        assert result["machine"] == "m-tta-1" and result["cycles"] > 0
+
+    def test_sweep_clear_cache_and_no_cache(self, tmp_path, capsys):
+        args = ["sweep", "--machines", "m-tta-1", "--kernels", "mips",
+                "--cache-dir", str(tmp_path), "-q"]
+        assert main(args) == 0
+        assert main(args + ["--clear-cache"]) == 0
+        assert "cleared 1 cache entries" in capsys.readouterr().err
+        assert main(args + ["--no-cache"]) == 0
+        assert "computed" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_machine(self, capsys):
+        assert main(["sweep", "--machines", "nope"]) == 2
+        assert "unknown machine" in capsys.readouterr().err

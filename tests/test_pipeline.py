@@ -1,0 +1,415 @@
+"""Pipeline subsystem tests: fingerprints, artifact store, executor.
+
+Covers the contract the evaluation layer depends on:
+
+* fingerprint stability (same inputs → same key, including across
+  processes) and sensitivity (kernel source / machine description /
+  toolchain / flags changes each produce a different key);
+* store round-trips, atomic layout, corrupted/truncated-entry recovery;
+* per-task failure isolation with structured error records;
+* parallel-vs-serial sweep equivalence (identical ``EvalResult`` sets,
+  byte-identical serialised payloads, all modes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.kernels import kernel_source
+from repro.machine import build_machine
+from repro.pipeline import (
+    ArtifactStore,
+    EvalResult,
+    SweepTask,
+    TaskError,
+    compile_cached,
+    describe_machine,
+    fingerprint,
+    parse_subset,
+    run_tasks,
+    sweep,
+    task_fingerprint,
+    toolchain_fingerprint,
+)
+
+#: small matrix that still spans all three core styles (in canonical
+#: preset order -- sweep results always iterate in that order)
+MACHINES = ("mblaze-3", "m-vliw-2", "m-tta-2")
+KERNELS = ("mips", "motion")
+
+GOOD_SOURCE = "int main(void){ int i; int s=0; for(i=0;i<6;i++) s+=i; return s-15; }"
+SELF_CHECK_FAIL = "int main(void){ return 3; }"
+COMPILE_ERROR = "int main(void){ return ;;; }"
+
+RESULT = EvalResult(
+    machine="m-tta-2",
+    kernel="mips",
+    exit_code=0,
+    cycles=55775,
+    instruction_count=565,
+    instruction_width=90,
+    fmax_mhz=201.2,
+)
+
+
+class TestFingerprint:
+    def test_deterministic_in_process(self):
+        machine = build_machine("m-tta-2")
+        source = kernel_source("mips")
+        assert fingerprint(machine, source) == fingerprint(machine, source)
+
+    def test_stable_across_processes(self):
+        """PYTHONHASHSEED must never leak into keys: recompute the same
+        fingerprint in fresh interpreters with different hash seeds."""
+        machine = build_machine("m-tta-2")
+        here = fingerprint(machine, GOOD_SOURCE)
+        code = (
+            "from repro.machine import build_machine\n"
+            "from repro.pipeline import fingerprint\n"
+            f"print(fingerprint(build_machine('m-tta-2'), {GOOD_SOURCE!r}))\n"
+        )
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            assert out.stdout.strip() == here
+
+    def test_kernel_source_change_invalidates(self):
+        machine = build_machine("m-tta-2")
+        base = fingerprint(machine, GOOD_SOURCE)
+        assert fingerprint(machine, GOOD_SOURCE + " ") != base
+
+    def test_machine_change_invalidates(self):
+        base = fingerprint(build_machine("m-tta-2"), GOOD_SOURCE)
+        other = fingerprint(build_machine("p-tta-2"), GOOD_SOURCE)
+        assert base != other
+        # ... and a structural edit to the same preset changes the key
+        machine = build_machine("m-tta-2")
+        edited = replace(machine, simm_bits=machine.simm_bits + 1)
+        assert fingerprint(edited, GOOD_SOURCE) != base
+
+    def test_flags_and_toolchain_invalidate(self):
+        machine = build_machine("m-tta-2")
+        base = fingerprint(machine, GOOD_SOURCE)
+        assert fingerprint(machine, GOOD_SOURCE, mode="checked") != base
+        assert fingerprint(machine, GOOD_SOURCE, optimize=False) != base
+        assert fingerprint(machine, GOOD_SOURCE, toolchain="other") != base
+
+    def test_describe_machine_is_json_canonical(self):
+        for name in MACHINES:
+            desc = describe_machine(build_machine(name))
+            round_tripped = json.loads(json.dumps(desc, sort_keys=True))
+            assert round_tripped == desc
+
+    def test_toolchain_fingerprint_is_hex_digest(self):
+        digest = toolchain_fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_task_fingerprint_matches_fingerprint(self):
+        task = SweepTask(machine="m-tta-2", kernel="x", source=GOOD_SOURCE)
+        assert task_fingerprint(task) == fingerprint(
+            build_machine("m-tta-2"), GOOD_SOURCE
+        )
+
+
+class TestParseSubset:
+    def test_none_gives_all(self):
+        assert parse_subset(None, ("a", "b"), "x") == ("a", "b")
+
+    def test_comma_string_and_canonical_order(self):
+        assert parse_subset("b,a", ("a", "b", "c"), "x") == ("a", "b")
+        assert parse_subset(["b", "b"], ("a", "b"), "x") == ("b",)
+
+    def test_unknown_and_empty_raise(self):
+        with pytest.raises(ValueError, match="unknown kernel 'z'"):
+            parse_subset("z", ("a",), "kernel")
+        with pytest.raises(ValueError, match="empty"):
+            parse_subset(" , ", ("a",), "kernel")
+
+
+class TestArtifactStore:
+    def test_result_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ab" * 32
+        store.store_result(key, RESULT)
+        assert store.load_result(key) == RESULT
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load_result("cd" * 32) is None
+        assert store.stats.misses == 1
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.result_path("../../etc/passwd")
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "garbage", "empty", "flipped_payload", "bad_json"],
+    )
+    def test_corrupt_entry_detected_dropped_and_rebuilt(self, tmp_path, corruption):
+        store = ArtifactStore(tmp_path)
+        key = "ef" * 32
+        path = store.store_result(key, RESULT)
+        blob = path.read_bytes()
+        if corruption == "truncate":
+            path.write_bytes(blob[: len(blob) // 2])
+        elif corruption == "garbage":
+            path.write_bytes(b"\x00\xff not an artifact")
+        elif corruption == "empty":
+            path.write_bytes(b"")
+        elif corruption == "flipped_payload":
+            path.write_bytes(blob[:-3] + bytes([blob[-3] ^ 0xFF]) + blob[-2:])
+        elif corruption == "bad_json":
+            header, _, _ = blob.partition(b"\n")
+            import hashlib
+
+            payload = b'{"schema": 999}'
+            header = b"repro-artifact sha256=" + hashlib.sha256(
+                payload
+            ).hexdigest().encode()
+            path.write_bytes(header + b"\n" + payload)
+        assert store.load_result(key) is None
+        assert not path.exists(), "corrupt entry must be deleted"
+        assert store.stats.corrupt_dropped == 1
+        # the caller rebuilds transparently:
+        store.store_result(key, RESULT)
+        assert store.load_result(key) == RESULT
+
+    def test_no_partial_files_after_write(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store_result("12" * 32, RESULT)
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_clear_and_entry_count(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store_result("aa" * 32, RESULT)
+        store.store_result("bb" * 32, RESULT)
+        assert store.entry_count()["results"] == 2
+        assert store.clear() == 2
+        assert store.entry_count()["results"] == 0
+
+    def test_program_round_trip_and_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        compiled = compile_cached("m-tta-1", "mips", store=store)
+        # second call is a pickle round-trip from disk
+        warm = compile_cached("m-tta-1", "mips", store=store)
+        assert warm.instruction_count == compiled.instruction_count
+        assert store.entry_count()["programs"] == 1
+        [path] = (tmp_path / "programs").rglob("*.pkl")
+        path.write_bytes(path.read_bytes()[:40])
+        rebuilt = compile_cached("m-tta-1", "mips", store=store)
+        assert rebuilt.instruction_count == compiled.instruction_count
+
+
+class TestExecutor:
+    def test_failure_isolation_and_structured_records(self, tmp_path):
+        outcome = sweep(
+            machines=("m-tta-1",),
+            sources={
+                "good": GOOD_SOURCE,
+                "selfcheck": SELF_CHECK_FAIL,
+                "syntax": COMPILE_ERROR,
+            },
+            store=ArtifactStore(tmp_path),
+            retries=0,
+        )
+        # the failing pairs did not kill the sweep ...
+        assert set(outcome.results) == {("m-tta-1", "good")}
+        assert outcome.results[("m-tta-1", "good")].exit_code == 0
+        # ... and surfaced as structured error records
+        assert set(outcome.errors) == {
+            ("m-tta-1", "selfcheck"),
+            ("m-tta-1", "syntax"),
+        }
+        selfcheck = outcome.errors[("m-tta-1", "selfcheck")]
+        assert selfcheck.error_type == "AssertionError"
+        assert "self-check failed" in selfcheck.message
+        assert "Traceback" in selfcheck.traceback
+        assert selfcheck.attempts == 1
+        assert outcome.stats.failed == 2 and outcome.stats.computed == 1
+
+    def test_bounded_retries_recorded(self, tmp_path):
+        outcome = sweep(
+            machines=("m-tta-1",),
+            sources={"boom": SELF_CHECK_FAIL},
+            store=ArtifactStore(tmp_path),
+            retries=2,
+        )
+        assert outcome.errors[("m-tta-1", "boom")].attempts == 3
+        assert outcome.stats.retried == 2
+
+    def test_parallel_failure_isolation(self, tmp_path):
+        outcome = sweep(
+            machines=("m-tta-1",),
+            sources={"good": GOOD_SOURCE, "syntax": COMPILE_ERROR},
+            store=ArtifactStore(tmp_path),
+            jobs=2,
+            retries=0,
+        )
+        assert ("m-tta-1", "good") in outcome.results
+        assert outcome.errors[("m-tta-1", "syntax")].error_type == "CompileError"
+
+    def test_run_tasks_preserves_order(self):
+        tasks = [
+            SweepTask(machine="m-tta-1", kernel=f"k{i}", source=GOOD_SOURCE)
+            for i in range(3)
+        ]
+        outcomes = run_tasks(tasks, jobs=2)
+        assert [o.kernel for o in outcomes] == ["k0", "k1", "k2"]
+        assert all(isinstance(o, EvalResult) for o in outcomes)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_tasks([], retries=-1)
+
+
+class TestSweepCaching:
+    def test_warm_sweep_serves_from_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        cold = sweep(machines=("m-tta-1",), kernels=("mips",), store=store)
+        assert cold.stats.computed == 1 and cold.stats.cache_hits == 0
+        warm = sweep(machines=("m-tta-1",), kernels=("mips",), store=store)
+        assert warm.stats.cache_hits == 1 and warm.stats.computed == 0
+        assert warm.results == cold.results
+
+    def test_no_cache_never_touches_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        sweep(
+            machines=("m-tta-1",), kernels=("mips",), store=store, use_cache=False
+        )
+        assert store.entry_count()["results"] == 0
+
+    def test_refresh_recomputes_and_overwrites(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        sweep(machines=("m-tta-1",), kernels=("mips",), store=store)
+        # poison the entry, then refresh must overwrite it with the truth
+        task = SweepTask(
+            machine="m-tta-1", kernel="mips", source=kernel_source("mips")
+        )
+        key = task_fingerprint(task)
+        store.store_result(key, replace(RESULT, machine="m-tta-1", cycles=1))
+        refreshed = sweep(
+            machines=("m-tta-1",), kernels=("mips",), store=store, refresh=True
+        )
+        assert refreshed.stats.computed == 1
+        assert store.load_result(key).cycles == refreshed.results[
+            ("m-tta-1", "mips")
+        ].cycles > 1
+
+    def test_errors_are_not_cached(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        outcome = sweep(
+            machines=("m-tta-1",),
+            sources={"boom": SELF_CHECK_FAIL},
+            store=store,
+            retries=0,
+        )
+        assert outcome.stats.failed == 1
+        assert store.entry_count()["results"] == 0
+
+
+class TestParallelSerialEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_checked(self, tmp_path_factory):
+        return sweep(
+            machines=MACHINES,
+            kernels=KERNELS,
+            mode="checked",
+            jobs=1,
+            store=ArtifactStore(tmp_path_factory.mktemp("serial")),
+        )
+
+    def test_parallel_fast_matches_serial_checked(
+        self, serial_checked, tmp_path_factory
+    ):
+        """The acceptance bar: a parallel fast-mode sweep must produce
+        byte-identical EvalResult sets to the serial checked path."""
+        parallel = sweep(
+            machines=MACHINES,
+            kernels=KERNELS,
+            mode="fast",
+            jobs=4,
+            store=ArtifactStore(tmp_path_factory.mktemp("parallel")),
+        )
+        assert serial_checked.ok and parallel.ok
+        assert list(parallel.results) == list(serial_checked.results)
+        serial_bytes = json.dumps(
+            [r.to_dict() for r in serial_checked.results.values()], sort_keys=True
+        ).encode()
+        parallel_bytes = json.dumps(
+            [r.to_dict() for r in parallel.results.values()], sort_keys=True
+        ).encode()
+        assert parallel_bytes == serial_bytes
+
+    def test_parallel_checked_matches_too(self, serial_checked, tmp_path_factory):
+        parallel = sweep(
+            machines=MACHINES,
+            kernels=KERNELS,
+            mode="checked",
+            jobs=3,
+            store=ArtifactStore(tmp_path_factory.mktemp("pchecked")),
+        )
+        assert parallel.results == serial_checked.results
+
+    def test_ordering_is_canonical(self, serial_checked):
+        """Results iterate in canonical (preset-order machine, kernel)
+        order regardless of job count, cache state or request order."""
+        expected = [(m, k) for m in MACHINES for k in KERNELS]
+        assert list(serial_checked.results) == expected
+        shuffled = sweep(
+            machines=tuple(reversed(MACHINES)),
+            kernels=tuple(reversed(KERNELS)),
+            use_cache=False,
+        )
+        assert list(shuffled.results) == expected
+
+
+class TestRunnerCompat:
+    """The legacy ``repro.eval.runner`` surface rides on the pipeline."""
+
+    def test_run_sweep_memo_identity_and_clear(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import runner
+
+        runner.sweep_cache_clear()
+        first = runner.run_sweep(machines=("m-tta-1",), kernels=("mips",))
+        again = runner.run_sweep(machines=("m-tta-1",), kernels=("mips",))
+        key = ("m-tta-1", "mips")
+        assert again[key] is first[key]
+        runner.sweep_cache_clear()
+        cleared = runner.run_sweep(machines=("m-tta-1",), kernels=("mips",))
+        # same value (served from disk), fresh object (memo was dropped)
+        assert cleared[key] == first[key]
+        assert cleared[key] is not first[key]
+        runner.sweep_cache_clear()
+
+    def test_run_sweep_raises_assertion_error_on_failure(self, tmp_path):
+        from repro.eval.runner import SweepFailure
+        from repro.pipeline.sweep import sweep as real_sweep
+
+        outcome = real_sweep(
+            machines=("m-tta-1",),
+            sources={"boom": SELF_CHECK_FAIL},
+            store=ArtifactStore(tmp_path),
+            retries=0,
+        )
+        with pytest.raises(AssertionError, match="self-check failed"):
+            outcome.raise_on_error()
+        with pytest.raises(SweepFailure):
+            outcome.raise_on_error()
