@@ -63,17 +63,52 @@ def _load_module(path: str):
 
 
 def _cmd_run(args) -> int:
+    from repro.machine.machine import MachineStyle
+
+    # --verify *is* the checked reference engine with full move routing;
+    # combining it with an explicitly requested fast/turbo engine is a
+    # contradiction, so reject it instead of silently overriding.
+    if args.verify and args.mode not in (None, "checked"):
+        print(
+            f"error: --verify runs the checked reference engine and cannot "
+            f"be combined with --mode {args.mode}; drop --verify or use "
+            f"--mode checked",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "checked" if args.verify else (args.mode or "fast")
+    if args.profile and mode == "checked":
+        print(
+            "error: --profile needs the fast or turbo engine "
+            "(the checked reference keeps no hit vector); "
+            "use --mode fast or --mode turbo without --verify",
+            file=sys.stderr,
+        )
+        return 2
     module = _load_module(args.file)
     machine = build_machine(args.machine)
     compiled = compile_for_machine(module, machine)
-    # --verify forces the per-cycle reference engine with full move routing;
-    # otherwise the pre-decoded fast engine (load-time verification) runs.
-    mode = "checked" if args.verify else args.mode
-    result = run_compiled(compiled, check_connectivity=args.verify, mode=mode)
+    scalar = machine.style is MachineStyle.SCALAR
+    if args.profile:
+        if scalar:
+            print(
+                "error: --profile supports TTA and VLIW cores only "
+                "(the scalar core has a single engine)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sim import format_profile, run_compiled_profiled
+
+        result, profile = run_compiled_profiled(compiled, mode=mode)
+    else:
+        profile = None
+        result = run_compiled(compiled, check_connectivity=args.verify, mode=mode)
     encoding = encode_machine(machine)
     print(f"exit code : {result.exit_code}")
     print(f"cycles    : {result.cycles}")
-    print(f"engine    : {mode}")
+    # the scalar (MicroBlaze-like) core has a single engine: --mode is
+    # accepted for CLI symmetry but ignored there
+    print(f"engine    : {'scalar (single engine; --mode ignored)' if scalar else mode}")
     print(f"image     : {compiled.instruction_count} instructions "
           f"({compiled.instruction_count * encoding.instruction_width / 1000:.1f} kbit)")
     if hasattr(result, "bypass_reads"):
@@ -81,6 +116,9 @@ def _cmd_run(args) -> int:
               f"{result.bypass_reads} bypassed reads, {result.rf_writes} RF writes")
     report = synthesize(machine)
     print(f"runtime   : {result.cycles / report.fmax_mhz:.1f} us at {report.fmax_mhz:.0f} MHz")
+    if profile is not None:
+        print()
+        print(format_profile(profile))
     return 0 if result.exit_code == 0 else 1
 
 
@@ -226,14 +264,23 @@ def main(argv: list[str] | None = None) -> int:
         "--verify",
         action="store_true",
         help="run the per-cycle reference engine with full connectivity checks "
-        "(implies --mode checked)",
+        "(same as --mode checked; rejected alongside --mode fast/turbo)",
     )
     p_run.add_argument(
         "--mode",
-        choices=("fast", "checked"),
-        default="fast",
-        help="simulation engine: 'fast' verifies the schedule once at load "
-        "time and runs pre-decoded code; 'checked' re-verifies every cycle",
+        choices=("fast", "checked", "turbo"),
+        default=None,
+        help="simulation engine (default fast): 'fast' verifies the schedule "
+        "once at load time and runs pre-decoded code; 'turbo' additionally "
+        "compiles basic blocks to specialized Python; 'checked' re-verifies "
+        "every cycle; the scalar (MicroBlaze-like) core has a single engine "
+        "and ignores --mode",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-block execution counts and the trigger histogram "
+        "after the run (fast/turbo engines on TTA/VLIW cores)",
     )
     p_run.set_defaults(fn=_cmd_run)
 
@@ -266,7 +313,7 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (1 = serial, in-process)",
     )
     p_sweep.add_argument(
-        "--mode", choices=("fast", "checked"), default="fast",
+        "--mode", choices=("fast", "checked", "turbo"), default="fast",
         help="simulation engine for computed pairs",
     )
     p_sweep.add_argument(

@@ -11,7 +11,14 @@ A cache entry's key must change exactly when its result could change:
 * the **toolchain** — the package version *plus* a digest over every
   ``repro`` source file, so editing the scheduler or the simulator
   invalidates results computed by the old code;
-* the **flags** — simulation mode and optimisation level.
+* the **flags** — simulation mode, optimisation level and the
+  **sim-engine version token**
+  (:data:`repro.sim.blockcompile.SIM_ENGINE_VERSION`).  The toolchain
+  digest only sees *this* checkout's sources; the explicit version
+  token also retires entries produced by engines whose semantics
+  changed without a local source edit (installed-package runs, store
+  sharing across checkouts), so a cached artifact can never mask a
+  codegen semantics change.
 
 Keys are hex SHA-256 digests, deterministic across processes, machines
 and Python versions (``PYTHONHASHSEED`` never enters the picture).
@@ -113,22 +120,36 @@ def fingerprint(
     mode: str = "fast",
     optimize: bool = True,
     toolchain: str | None = None,
+    engine_version: int | None = None,
 ) -> str:
     """Hex SHA-256 key for one (machine, kernel-source, flags) artifact.
 
-    *toolchain* defaults to :func:`toolchain_fingerprint`; tests inject
-    synthetic values to exercise invalidation without editing sources.
+    *toolchain* defaults to :func:`toolchain_fingerprint`;
+    *engine_version* defaults to
+    :data:`repro.sim.blockcompile.SIM_ENGINE_VERSION`.  Tests inject
+    synthetic values for both to exercise invalidation without editing
+    sources.
     """
+    if engine_version is None:
+        from repro.sim.blockcompile import SIM_ENGINE_VERSION
+
+        engine_version = SIM_ENGINE_VERSION
     payload = {
         "machine": describe_machine(machine),
         "source": source,
         "toolchain": toolchain if toolchain is not None else toolchain_fingerprint(),
-        "flags": {"mode": mode, "optimize": bool(optimize)},
+        "flags": {
+            "mode": mode,
+            "optimize": bool(optimize),
+            "engine": int(engine_version),
+        },
     }
     return hashlib.sha256(_canonical_json(payload)).hexdigest()
 
 
-def task_fingerprint(task, *, toolchain: str | None = None) -> str:
+def task_fingerprint(
+    task, *, toolchain: str | None = None, engine_version: int | None = None
+) -> str:
     """Fingerprint for a :class:`~repro.pipeline.types.SweepTask`."""
     from repro.machine import build_machine
 
@@ -138,4 +159,5 @@ def task_fingerprint(task, *, toolchain: str | None = None) -> str:
         mode=task.mode,
         optimize=task.optimize,
         toolchain=toolchain,
+        engine_version=engine_version,
     )

@@ -10,24 +10,31 @@ oversubscribing a bus, or exceeding a register file's ports is an error,
 not a silent wrong answer.
 """
 
+from repro.sim.blockcompile import SIM_ENGINE_VERSION
 from repro.sim.errors import SimError
 from repro.sim.memory import DataMemory
 from repro.sim.predecode import verify_tta_program, verify_vliw_program
-from repro.sim.run import run_compiled
+from repro.sim.profile import SimProfile, collect_profile, format_profile
+from repro.sim.run import run_compiled, run_compiled_profiled
 from repro.sim.scalar_sim import ScalarResult, ScalarSimulator
 from repro.sim.tta_sim import TTAResult, TTASimulator
 from repro.sim.vliw_sim import VLIWResult, VLIWSimulator
 
 __all__ = [
     "DataMemory",
+    "SIM_ENGINE_VERSION",
     "ScalarResult",
     "ScalarSimulator",
     "SimError",
+    "SimProfile",
     "TTAResult",
     "TTASimulator",
     "VLIWResult",
     "VLIWSimulator",
+    "collect_profile",
+    "format_profile",
     "run_compiled",
+    "run_compiled_profiled",
     "verify_tta_program",
     "verify_vliw_program",
 ]

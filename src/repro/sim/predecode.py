@@ -468,6 +468,11 @@ def run_tta_fast(sim):
             stats.rf_reads += count * counts[2]
             stats.bypass_reads += count * counts[3]
             stats.rf_writes += count * counts[4]
+    # zero-overhead profiling hooks: the hit vector already drives the
+    # statistics above, so exposing it costs nothing extra per cycle
+    sim._last_hits = hits
+    sim._last_blocks = None
+    sim._last_engine = "fast"
     return stats
 
 
@@ -758,4 +763,8 @@ def run_vliw_fast(sim):
     result = VLIWResult(rfs[rv.rf][rv.idx], cycle + 1, cycle + 1)
     result.ops = sum(count * ops for count, ops in zip(hits, op_counts))
     sim._sync_regs_from_fast(rfs)
+    # zero-overhead profiling hooks (the hit vector already exists)
+    sim._last_hits = hits
+    sim._last_blocks = None
+    sim._last_engine = "fast"
     return result

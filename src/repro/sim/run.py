@@ -9,22 +9,12 @@ from repro.sim.tta_sim import TTASimulator
 from repro.sim.vliw_sim import VLIWSimulator
 
 
-def run_compiled(
+def _make_simulator(
     compiled: CompiledProgram,
-    check_connectivity: bool = False,
-    max_cycles: int = 500_000_000,
-    mode: str = "fast",
+    check_connectivity: bool,
+    max_cycles: int,
+    mode: str,
 ):
-    """Simulate *compiled* on its machine; returns the style's result object
-    (all results expose ``exit_code`` and ``cycles``).
-
-    ``mode="fast"`` (the default) verifies all structural schedule
-    properties once at load time and executes the pre-decoded program;
-    ``mode="checked"`` runs the per-cycle reference engine.
-    ``check_connectivity`` additionally routes every executed TTA move in
-    checked mode (fast mode always verifies connectivity at load time).
-    The scalar core has a single engine; *mode* is ignored there.
-    """
     style = compiled.machine.style
     if style is MachineStyle.TTA:
         sim = TTASimulator(
@@ -38,4 +28,51 @@ def run_compiled(
     else:
         sim = ScalarSimulator(compiled.program, max_cycles=max_cycles)
     sim.preload(compiled.data_init)
-    return sim.run()
+    return sim
+
+
+def run_compiled(
+    compiled: CompiledProgram,
+    check_connectivity: bool = False,
+    max_cycles: int = 500_000_000,
+    mode: str = "fast",
+):
+    """Simulate *compiled* on its machine; returns the style's result object
+    (all results expose ``exit_code`` and ``cycles``).
+
+    ``mode="fast"`` (the default) verifies all structural schedule
+    properties once at load time and executes the pre-decoded program;
+    ``mode="turbo"`` additionally compiles basic blocks to specialized
+    Python code chained through a dispatch table (falling back per block
+    to the fast engine where codegen cannot prove the block static);
+    ``mode="checked"`` runs the per-cycle reference engine.
+    ``check_connectivity`` additionally routes every executed TTA move in
+    checked mode (fast and turbo modes always verify connectivity at
+    load time).  The scalar core has a single engine; *mode* is ignored
+    there.  All modes are bit- and cycle-exact with each other.
+    """
+    return _make_simulator(compiled, check_connectivity, max_cycles, mode).run()
+
+
+def run_compiled_profiled(
+    compiled: CompiledProgram,
+    max_cycles: int = 500_000_000,
+    mode: str = "turbo",
+):
+    """Simulate *compiled* and return ``(result, SimProfile)``.
+
+    Profiling rides on the hit vectors the fast/turbo engines already
+    maintain, so it adds no per-cycle overhead; it is unavailable for
+    the checked engine (no hit vector) and the scalar core.
+    """
+    from repro.sim.profile import collect_profile
+
+    if compiled.machine.style is MachineStyle.SCALAR:
+        raise ValueError("profiling supports TTA and VLIW cores only")
+    if mode not in ("fast", "turbo"):
+        raise ValueError(
+            f"profiling requires mode='fast' or mode='turbo', not {mode!r}"
+        )
+    sim = _make_simulator(compiled, False, max_cycles, mode)
+    result = sim.run()
+    return result, collect_profile(sim, result)

@@ -6,7 +6,7 @@ operation; the result is readable from the unit's result register once
 the latency has elapsed and until the next operation on the same unit
 overwrites it.
 
-Two execution modes are offered (``mode="fast"`` is the default):
+Three execution modes are offered (``mode="fast"`` is the default):
 
 * ``"fast"`` -- all structural properties (bus exclusivity including
   long-immediate ``extra_slots`` reservations, RF port limits, full
@@ -16,8 +16,12 @@ Two execution modes are offered (``mode="fast"`` is the default):
   into flat sampler/writer/trigger closures consumed by a lean inner
   loop.  Dynamic violations (early result reads, overlapping control
   transfers) still raise.
+* ``"turbo"`` -- :mod:`repro.sim.blockcompile` additionally compiles
+  basic blocks of the pre-decoded program into specialized Python code
+  chained through a per-pc dispatch table, falling back per block to
+  the fast engine for anything it cannot prove static.
 * ``"checked"`` -- the reference implementation: every check is re-run
-  on every executed cycle.  The differential tests assert the two modes
+  on every executed cycle.  The differential tests assert all modes
   agree bit- and cycle-exactly on every workload.
 
 In both modes the simulator doubles as a schedule verifier:
@@ -118,12 +122,13 @@ class TTASimulator:
     #: (fast mode always verifies connectivity, once, at load time)
     check_connectivity: bool = False
     #: "fast" = load-time verification + pre-decoded engine;
+    #: "turbo" = fast plus basic-block compilation with block chaining;
     #: "checked" = per-cycle reference implementation
     mode: str = "fast"
     memory: DataMemory = field(init=False)
 
     def __post_init__(self) -> None:
-        if self.mode not in ("fast", "checked"):
+        if self.mode not in ("fast", "checked", "turbo"):
             raise ValueError(f"unknown simulation mode {self.mode!r}")
         machine = self.program.machine
         self.memory = DataMemory(self.memory_size)
@@ -181,6 +186,10 @@ class TTASimulator:
     def run(self) -> TTAResult:
         if self.mode == "fast":
             return run_tta_fast(self)
+        if self.mode == "turbo":
+            from repro.sim.blockcompile import run_tta_turbo
+
+            return run_tta_turbo(self)
         return self._run_checked()
 
     def _run_checked(self) -> TTAResult:

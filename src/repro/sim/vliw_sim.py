@@ -10,11 +10,13 @@ than silently matching the interpreter.
 Control transfers redirect fetch ``jump_latency + 1`` instructions after
 the trigger (exposed delay slots).
 
-Two execution modes are offered (``mode="fast"`` is the default):
+Three execution modes are offered (``mode="fast"`` is the default):
 ``"fast"`` validates every bundle once at load time and runs the
-pre-decoded engine of :mod:`repro.sim.predecode`; ``"checked"`` is the
-per-cycle reference implementation.  Differential tests assert the two
-agree bit- and cycle-exactly.
+pre-decoded engine of :mod:`repro.sim.predecode`; ``"turbo"``
+additionally compiles basic blocks into specialized Python code
+(:mod:`repro.sim.blockcompile`); ``"checked"`` is the per-cycle
+reference implementation.  Differential tests assert all modes agree
+bit- and cycle-exactly.
 """
 
 from __future__ import annotations
@@ -45,12 +47,13 @@ class VLIWSimulator:
     memory_size: int = MEMORY_SIZE
     max_cycles: int = 500_000_000
     #: "fast" = load-time verification + pre-decoded engine;
+    #: "turbo" = fast plus basic-block compilation with block chaining;
     #: "checked" = per-cycle reference implementation
     mode: str = "fast"
     memory: DataMemory = field(init=False)
 
     def __post_init__(self) -> None:
-        if self.mode not in ("fast", "checked"):
+        if self.mode not in ("fast", "checked", "turbo"):
             raise ValueError(f"unknown simulation mode {self.mode!r}")
         self.memory = DataMemory(self.memory_size)
         self.regs: dict[PhysReg, int] = {}
@@ -98,6 +101,10 @@ class VLIWSimulator:
     def run(self) -> VLIWResult:
         if self.mode == "fast":
             return run_vliw_fast(self)
+        if self.mode == "turbo":
+            from repro.sim.blockcompile import run_vliw_turbo
+
+            return run_vliw_turbo(self)
         return self._run_checked()
 
     def _run_checked(self) -> VLIWResult:

@@ -1,0 +1,294 @@
+"""Turbo (block-compiled) engine tests.
+
+The turbo engine must be bit- and cycle-exact with the checked reference
+engine — exit code, cycle count and **every** statistics counter — on
+every CHStone-style workload, on both machine styles, including when
+codegen bails out and the per-block fallback interprets through the fast
+path.  Dynamic schedule violations (early FU reads, overlapping control
+transfers, cycle-budget exhaustion) must raise the same errors at the
+same cycle as the reference engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.backend.mop import Imm, MOp, PhysReg
+from repro.backend.program import Move, Program, TTAInstr, VLIWInstr
+from repro.kernels import KERNELS, compile_kernel
+from repro.sim import (
+    SimError,
+    TTASimulator,
+    VLIWSimulator,
+    collect_profile,
+    format_profile,
+    run_compiled,
+    run_compiled_profiled,
+)
+from repro.sim import blockcompile
+from repro.sim.blockcompile import tta_block_source, vliw_block_source
+
+#: one TTA and one VLIW design point; turbo/checked agreement is
+#: style-level, not design-point-level (same policy as test_predecode)
+DIFF_MACHINES = ("m-tta-2", "m-vliw-2")
+
+FIB_SRC = """
+int fib(int n){ if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void){ return fib(12) - 144; }
+"""
+
+
+def _compile(src, machine_name):
+    return compile_for_machine(compile_source(src), build_machine(machine_name))
+
+
+# ---------------------------------------------------------------------------
+# differential: every workload, turbo vs checked, every statistic
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_identical_turbo_vs_checked(machine_name, kernel):
+    compiled = compile_for_machine(compile_kernel(kernel), build_machine(machine_name))
+    checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+    turbo = run_compiled(compiled, mode="turbo")
+    assert asdict(turbo) == asdict(checked), f"{machine_name}/{kernel} diverged"
+    assert turbo.exit_code == 0
+
+
+def test_branchy_recursion_identical_turbo_vs_checked():
+    """Calls, returns and conditional branches on design points the
+    kernel sweep above does not cover."""
+    for name in ("m-tta-1", "bm-tta-3", "p-vliw-3"):
+        compiled = _compile(FIB_SRC, name)
+        checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+        turbo = run_compiled(compiled, mode="turbo")
+        assert asdict(turbo) == asdict(checked), name
+        assert turbo.exit_code == 0
+
+
+class TestTurboDifferentialSmoke:
+    """Small turbo-vs-checked matrix the CI workflow runs on every push
+    (selected by class name; keep it fast: 2 machines x 2 kernels)."""
+
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    @pytest.mark.parametrize("kernel", ("mips", "motion"))
+    def test_smoke(self, machine_name, kernel):
+        compiled = compile_for_machine(
+            compile_kernel(kernel), build_machine(machine_name)
+        )
+        checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+        turbo = run_compiled(compiled, mode="turbo")
+        assert asdict(turbo) == asdict(checked), f"{machine_name}/{kernel} diverged"
+        assert turbo.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# turbo dynamic semantics: same errors, same values as the fast engine
+# ---------------------------------------------------------------------------
+
+
+def _tta_prog(moves_lists, machine_name="m-tta-2"):
+    machine = build_machine(machine_name)
+    return Program(machine, "tta", [TTAInstr(moves) for moves in moves_lists])
+
+
+class TestTurboDynamics:
+    def test_early_result_read_still_raises(self):
+        prog = _tta_prog(
+            [
+                [
+                    Move(("imm", 3), ("op", "ALU0", "o1", None), 0),
+                    Move(("imm", 4), ("op", "ALU0", "t", "mul"), 1),
+                ],
+                [Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)],
+            ]
+        )
+        with pytest.raises(SimError, match="before the first result is due"):
+            TTASimulator(prog, mode="turbo").run()
+
+    def test_never_triggered_read_diagnosed(self):
+        prog = _tta_prog([[Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)]])
+        with pytest.raises(SimError, match="never triggered"):
+            TTASimulator(prog, mode="turbo").run()
+
+    def test_semi_virtual_latching_multiple_inflight(self):
+        moves = [
+            [
+                Move(("imm", 6), ("op", "ALU0", "o1", None), 0),
+                Move(("imm", 7), ("op", "ALU0", "t", "mul"), 1),
+            ],
+            [],
+            [
+                Move(("imm", 2), ("op", "ALU0", "o1", None), 0),
+                Move(("imm", 1), ("op", "ALU0", "t", "shl"), 1),
+            ],
+            [Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)],
+            [Move(("fu", "ALU0"), ("rf", "RF0", 2), 0)],
+            [Move(("imm", 0), ("op", "CU", "t", "halt"), 0)],
+        ]
+        sim = TTASimulator(_tta_prog(moves), mode="turbo")
+        sim.run()
+        assert sim.rfs["RF0"][1] == 42
+        assert sim.rfs["RF0"][2] == 4
+
+    def test_vliw_delayed_writeback_visible_late(self):
+        machine = build_machine("m-vliw-2")
+        r1 = PhysReg("RF0", 1)
+        r2 = PhysReg("RF0", 2)
+        instrs = [
+            VLIWInstr([MOp("add", r1, [Imm(40), Imm(2)])]),
+            VLIWInstr([MOp("add", r2, [r1, Imm(0)])]),  # reads OLD r1 (0)
+            VLIWInstr([MOp("add", r2, [r1, Imm(0)])]),  # now reads 42
+            VLIWInstr([MOp("halt", None, [Imm(0)])]),
+        ]
+        prog = Program(machine, "vliw", instrs)
+        sim = VLIWSimulator(prog, mode="turbo")
+        sim.run()
+        assert sim.regs[r2] == 42
+
+    def test_vliw_overlapping_control_rejected(self):
+        machine = build_machine("m-vliw-2")
+        instrs = [
+            VLIWInstr([MOp("jump", None, [Imm(0)])]),
+            VLIWInstr([MOp("jump", None, [Imm(0)])]),
+            VLIWInstr([]),
+            VLIWInstr([]),
+        ]
+        prog = Program(machine, "vliw", instrs)
+        with pytest.raises(SimError, match="overlapping"):
+            VLIWSimulator(prog, mode="turbo").run()
+
+    def test_cycle_budget_exact_at_boundary(self):
+        """A budget one cycle short fails; the exact cycle count passes —
+        in lockstep with the fast engine."""
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        cycles = run_compiled(compiled, mode="fast").cycles
+        # result.cycles == halt_cycle + 1, and a run succeeds iff
+        # halt_cycle <= max_cycles: the tightest passing budget is
+        # cycles - 1 and one cycle less must raise in both engines.
+        for mode in ("fast", "turbo"):
+            ok = run_compiled(compiled, mode=mode, max_cycles=cycles - 1)
+            assert ok.cycles == cycles
+            with pytest.raises(SimError, match="cycle budget"):
+                run_compiled(compiled, mode=mode, max_cycles=cycles - 2)
+
+
+# ---------------------------------------------------------------------------
+# block cache + codegen-fallback equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestBlockCacheAndFallback:
+    def test_block_code_cached_on_program(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        run_compiled(compiled, mode="turbo")
+        cache = compiled.program.predecode_cache["tta-turbo"]
+        assert cache, "no compiled blocks cached"
+        snapshot = dict(cache)
+        run_compiled(compiled, mode="turbo")
+        after = compiled.program.predecode_cache["tta-turbo"]
+        for start, entry in snapshot.items():
+            assert after[start] is entry, f"block {start} recompiled"
+        compiled.program.invalidate_predecode()
+        assert "tta-turbo" not in compiled.program.predecode_cache
+
+    def test_vliw_block_code_cached_on_program(self):
+        compiled = _compile(FIB_SRC, "m-vliw-2")
+        run_compiled(compiled, mode="turbo")
+        assert compiled.program.predecode_cache["vliw-turbo"]
+
+    def test_tta_fallback_path_is_equivalent(self, monkeypatch):
+        """With codegen disabled entirely, the turbo driver's per-block
+        fallback must still be bit- and cycle-exact with checked."""
+        monkeypatch.setattr(
+            blockcompile, "_compile_tta_block", lambda *a, **k: None
+        )
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+        turbo = run_compiled(compiled, mode="turbo")
+        assert asdict(turbo) == asdict(checked)
+        assert turbo.exit_code == 0
+        # nothing compiled: every cache entry is a None (fallback) marker
+        assert all(
+            entry is None
+            for entry in compiled.program.predecode_cache["tta-turbo"].values()
+        )
+
+    def test_vliw_fallback_path_is_equivalent(self, monkeypatch):
+        monkeypatch.setattr(
+            blockcompile, "_compile_vliw_block", lambda *a, **k: None
+        )
+        compiled = _compile(FIB_SRC, "m-vliw-2")
+        checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+        turbo = run_compiled(compiled, mode="turbo")
+        assert asdict(turbo) == asdict(checked)
+        assert turbo.exit_code == 0
+
+    def test_block_source_helpers(self):
+        tta = _compile(FIB_SRC, "m-tta-2")
+        src = tta_block_source(tta.program, 0)
+        assert src is not None and "def _b(" in src
+        vliw = _compile(FIB_SRC, "m-vliw-2")
+        src = vliw_block_source(vliw.program, 0)
+        assert src is not None and "def _b(" in src
+
+
+# ---------------------------------------------------------------------------
+# profiling: zero-overhead hit vectors -> hot blocks + opcode histograms
+# ---------------------------------------------------------------------------
+
+
+class TestProfiling:
+    def test_turbo_profile_accounts_every_instruction(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        result, profile = run_compiled_profiled(compiled, mode="turbo")
+        assert result.exit_code == 0
+        assert profile.engine == "turbo"
+        assert profile.cycles == result.cycles
+        assert profile.instructions == sum(profile.pc_hits) > 0
+        # blocks partition the executed pcs: instruction totals must match
+        assert sum(b.instructions for b in profile.blocks) == profile.instructions
+        # hottest-first ordering
+        instrs = [b.instructions for b in profile.blocks]
+        assert instrs == sorted(instrs, reverse=True)
+        assert profile.opcode_counts  # fib triggers plenty of ops
+
+    def test_fast_and_turbo_profiles_agree(self):
+        compiled = _compile(FIB_SRC, "m-vliw-2")
+        _, fast = run_compiled_profiled(compiled, mode="fast")
+        _, turbo = run_compiled_profiled(compiled, mode="turbo")
+        assert fast.engine == "fast" and turbo.engine == "turbo"
+        assert fast.pc_hits == turbo.pc_hits
+        assert fast.opcode_counts == turbo.opcode_counts
+        assert fast.cycles == turbo.cycles
+        # fast has no block grouping: every region is a single pc
+        assert all(b.length == 1 for b in fast.blocks)
+
+    def test_checked_engine_has_no_profile(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        sim = TTASimulator(compiled.program, mode="checked")
+        sim.preload(compiled.data_init)
+        result = sim.run()
+        with pytest.raises(ValueError, match="no profile data"):
+            collect_profile(sim, result)
+
+    def test_profiled_run_rejects_scalar_and_checked(self):
+        compiled = _compile(FIB_SRC, "mblaze-3")
+        with pytest.raises(ValueError, match="TTA and VLIW cores only"):
+            run_compiled_profiled(compiled)
+        tta = _compile(FIB_SRC, "m-tta-2")
+        with pytest.raises(ValueError, match="mode='fast' or mode='turbo'"):
+            run_compiled_profiled(tta, mode="checked")
+
+    def test_format_profile_renders(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        _, profile = run_compiled_profiled(compiled, mode="turbo")
+        text = format_profile(profile)
+        assert "hot blocks" in text
+        assert "trigger histogram" in text
+        assert "engine         : turbo" in text

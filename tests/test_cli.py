@@ -35,6 +35,40 @@ class TestCLI:
         path.write_text("int main(void){ return 7; }")
         assert main(["run", str(path), "-m", "mblaze-3"]) == 1
 
+    def test_run_mode_turbo(self, minic_file, capsys):
+        assert main(["run", minic_file, "-m", "m-tta-1", "--mode", "turbo"]) == 0
+        out = capsys.readouterr().out
+        assert "engine    : turbo" in out
+        assert "exit code : 0" in out
+
+    def test_run_verify_conflicts_with_mode(self, minic_file, capsys):
+        for mode in ("fast", "turbo"):
+            assert main(
+                ["run", minic_file, "-m", "m-tta-1", "--verify", "--mode", mode]
+            ) == 2
+            assert "cannot be combined with --mode" in capsys.readouterr().err
+        # --verify --mode checked is redundant but consistent: allowed
+        assert main(
+            ["run", minic_file, "-m", "m-tta-1", "--verify", "--mode", "checked"]
+        ) == 0
+
+    def test_run_scalar_ignores_mode(self, minic_file, capsys):
+        assert main(["run", minic_file, "-m", "mblaze-3", "--mode", "turbo"]) == 0
+        assert "scalar (single engine; --mode ignored)" in capsys.readouterr().out
+
+    def test_run_profile(self, minic_file, capsys):
+        assert main(
+            ["run", minic_file, "-m", "m-tta-2", "--mode", "turbo", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hot blocks" in out and "trigger histogram" in out
+
+    def test_run_profile_rejects_scalar_and_checked(self, minic_file, capsys):
+        assert main(["run", minic_file, "-m", "mblaze-3", "--profile"]) == 2
+        assert "TTA and VLIW cores only" in capsys.readouterr().err
+        assert main(["run", minic_file, "-m", "m-tta-1", "--verify", "--profile"]) == 2
+        assert "fast or turbo engine" in capsys.readouterr().err
+
     def test_asm(self, minic_file, capsys):
         assert main(["asm", minic_file, "-m", "m-tta-2", "--count", "10"]) == 0
         out = capsys.readouterr().out

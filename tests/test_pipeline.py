@@ -106,6 +106,49 @@ class TestFingerprint:
         assert fingerprint(machine, GOOD_SOURCE, optimize=False) != base
         assert fingerprint(machine, GOOD_SOURCE, toolchain="other") != base
 
+    def test_engine_version_default_is_current(self):
+        from repro.sim import SIM_ENGINE_VERSION
+
+        machine = build_machine("m-tta-2")
+        assert fingerprint(machine, GOOD_SOURCE) == fingerprint(
+            machine, GOOD_SOURCE, engine_version=SIM_ENGINE_VERSION
+        )
+
+    def test_engine_version_change_invalidates(self):
+        """A sim-engine semantics bump must retire every cached artifact
+        the old engine produced, even with identical sources/flags."""
+        from repro.sim import SIM_ENGINE_VERSION
+
+        machine = build_machine("m-tta-2")
+        base = fingerprint(machine, GOOD_SOURCE, toolchain="pinned")
+        bumped = fingerprint(
+            machine,
+            GOOD_SOURCE,
+            toolchain="pinned",
+            engine_version=SIM_ENGINE_VERSION + 1,
+        )
+        assert bumped != base
+
+    def test_engine_version_change_invalidates_store_entries(self, tmp_path):
+        """End-to-end: an artifact stored under the old engine version is
+        never served once the engine version token changes."""
+        from repro.sim import SIM_ENGINE_VERSION
+
+        store = ArtifactStore(tmp_path)
+        machine = build_machine("m-tta-2")
+        old_key = fingerprint(
+            machine, GOOD_SOURCE, toolchain="pinned",
+            engine_version=SIM_ENGINE_VERSION,
+        )
+        store.store_result(old_key, RESULT)
+        assert store.load_result(old_key) == RESULT
+        new_key = fingerprint(
+            machine, GOOD_SOURCE, toolchain="pinned",
+            engine_version=SIM_ENGINE_VERSION + 1,
+        )
+        assert new_key != old_key
+        assert store.load_result(new_key) is None
+
     def test_describe_machine_is_json_canonical(self):
         for name in MACHINES:
             desc = describe_machine(build_machine(name))

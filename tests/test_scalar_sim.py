@@ -1,0 +1,234 @@
+"""Scalar (MicroBlaze-like) core unit tests.
+
+Hand-built ``MOp`` programs pin down the stall model cycle-by-cycle
+(branch/call/load/shift/mul extras, IMM-prefix fetch words) and mirror
+the ``DataMemory`` boundary/masking tests through the core's own
+load/store path, so the scalar baseline the paper's speedup claims
+divide by is itself under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.backend.abi import return_value_reg
+from repro.backend.mop import Imm, MOp, PhysReg
+from repro.backend.program import Program
+from repro.sim import ScalarSimulator, SimError, run_compiled
+
+R1 = PhysReg("RF0", 1)  # return value / first argument register
+R2 = PhysReg("RF0", 2)
+R3 = PhysReg("RF0", 3)
+
+
+def _sim(ops, machine_name="mblaze-3", **kwargs):
+    machine = build_machine(machine_name)
+    assert return_value_reg(machine) == R1
+    return ScalarSimulator(Program(machine, "scalar", list(ops)), **kwargs)
+
+
+def _run(ops, machine_name="mblaze-3", **kwargs):
+    sim = _sim(ops, machine_name, **kwargs)
+    return sim.run(), sim
+
+
+HALT = MOp("halt", None, [Imm(0)])
+
+
+class TestScalarBranchTiming:
+    """mblaze-3: taken_branch_extra=2, untaken_branch_extra=0, call_extra=2."""
+
+    def test_halt_is_free_and_counts_as_instruction(self):
+        result, _ = _run([MOp("copy", R1, [Imm(5)]), HALT])
+        assert result.exit_code == 5
+        assert result.instructions == 2
+        assert result.cycles == 1  # halt charges no cycle
+
+    def test_taken_conditional_branch_pays_bubbles(self):
+        result, _ = _run(
+            [
+                MOp("copy", R2, [Imm(1)]),
+                MOp("cjump", None, [R2, Imm(3)]),
+                MOp("copy", R1, [Imm(99)]),  # skipped
+                HALT,
+            ]
+        )
+        assert result.exit_code == 0
+        assert result.taken_branches == 1
+        assert result.cycles == 1 + (1 + 2)  # copy + taken cjump
+
+    def test_untaken_conditional_branch_is_cheap(self):
+        result, _ = _run(
+            [
+                MOp("cjump", None, [R2, Imm(3)]),  # R2 == 0: not taken
+                MOp("copy", R1, [Imm(7)]),
+                HALT,
+            ]
+        )
+        assert result.exit_code == 7
+        assert result.taken_branches == 0
+        assert result.cycles == 1 + 1  # untaken_branch_extra is 0
+
+    def test_cjumpz_takes_on_zero(self):
+        result, _ = _run(
+            [
+                MOp("cjumpz", None, [R2, Imm(3)]),  # R2 == 0: taken
+                MOp("copy", R1, [Imm(99)]),  # skipped
+                HALT,
+                MOp("copy", R1, [Imm(3)]),
+                MOp("jump", None, [Imm(2)]),
+            ]
+        )
+        assert result.exit_code == 3
+        assert result.taken_branches == 1  # only cjump/cjumpz count
+
+    def test_unconditional_jump_pays_bubbles_but_is_not_a_taken_branch(self):
+        result, _ = _run([MOp("jump", None, [Imm(2)]), HALT, HALT])
+        assert result.taken_branches == 0
+        assert result.cycles == 1 + 2
+
+    def test_call_ret_roundtrip_and_cost(self):
+        result, sim = _run(
+            [
+                MOp("call", None, [Imm(2)]),
+                HALT,
+                MOp("copy", R1, [Imm(7)]),
+                MOp("ret", None, []),
+            ]
+        )
+        assert result.exit_code == 7
+        assert result.instructions == 4
+        # call(1+2) + copy(1) + ret(1+2); halt free
+        assert result.cycles == 7
+        assert sim.ra == 1
+
+    def test_getra_setra(self):
+        result, _ = _run(
+            [
+                MOp("call", None, [Imm(2)]),
+                HALT,
+                MOp("getra", R2, []),
+                MOp("copy", R1, [R2]),  # ra == 1
+                MOp("setra", None, [Imm(1)]),
+                MOp("ret", None, []),
+            ]
+        )
+        assert result.exit_code == 1
+
+
+class TestScalarStallModel:
+    def test_load_shift_mul_extras_differ_between_pipelines(self):
+        """mblaze-3 (no forwarding) charges +1/+1/+2 for load/shift/mul;
+        mblaze-5 (forwarding) charges none of them."""
+        ops = [
+            MOp("stw", None, [Imm(0), Imm(6)]),
+            MOp("ldw", R2, [Imm(0)]),
+            MOp("shl", R2, [R2, Imm(1)]),
+            MOp("mul", R1, [R2, Imm(2)]),  # (6 << 1) * 2 == 24
+            HALT,
+        ]
+        r3, _ = _run(ops, "mblaze-3")
+        r5, _ = _run(ops, "mblaze-5")
+        assert r3.exit_code == r5.exit_code == 24
+        assert r3.instructions == r5.instructions == 5
+        assert r3.cycles - r5.cycles == 1 + 1 + 2
+
+    def test_wide_immediates_cost_a_prefix_fetch(self):
+        narrow, _ = _run([MOp("copy", R1, [Imm(1)]), HALT])
+        wide, _ = _run([MOp("copy", R1, [Imm(0x12345678)]), HALT])
+        assert wide.cycles - narrow.cycles == 1
+
+    def test_falling_off_the_end_raises(self):
+        with pytest.raises(SimError, match="PC out of range"):
+            _run([MOp("copy", R1, [Imm(1)])])
+
+    def test_cycle_budget_enforced(self):
+        with pytest.raises(SimError, match="cycle budget"):
+            _run([MOp("jump", None, [Imm(0)])], max_cycles=100)
+
+    def test_unresolved_operand_raises(self):
+        from repro.backend.mop import LabelRef
+
+        with pytest.raises(SimError, match="unresolved operand"):
+            _run([MOp("copy", R1, [LabelRef("nowhere")]), HALT])
+
+
+class TestScalarMemoryPath:
+    """DataMemory boundary/masking semantics through the core's own
+    load/store ops (mirrors TestDataMemory in test_sims.py)."""
+
+    def test_word_roundtrip_and_counters(self):
+        result, sim = _run(
+            [
+                MOp("stw", None, [Imm(8), Imm(0xDEADBEEF)]),
+                MOp("ldw", R1, [Imm(8)]),
+                HALT,
+            ],
+            memory_size=64,
+        )
+        assert result.exit_code == 0xDEADBEEF
+        assert result.loads == 1 and result.stores == 1
+
+    def test_subword_sign_extension(self):
+        _, sim = _run(
+            [
+                MOp("stq", None, [Imm(0), Imm(0x80)]),
+                MOp("ldq", R1, [Imm(0)]),
+                MOp("ldqu", R2, [Imm(0)]),
+                MOp("sth", None, [Imm(4), Imm(0x8000)]),
+                MOp("ldh", R3, [Imm(4)]),
+                HALT,
+            ],
+            memory_size=64,
+        )
+        assert sim.regs[R1] == 0xFFFFFF80
+        assert sim.regs[R2] == 0x80
+        assert sim.regs[R3] == 0xFFFF8000
+
+    def test_truncating_store_and_little_endian(self):
+        _, sim = _run(
+            [
+                MOp("stw", None, [Imm(0), Imm(0x11223344)]),
+                MOp("ldqu", R2, [Imm(0)]),
+                MOp("ldqu", R3, [Imm(3)]),
+                MOp("stq", None, [Imm(8), Imm(0x1FF)]),
+                MOp("ldqu", R1, [Imm(8)]),
+                HALT,
+            ],
+            memory_size=64,
+        )
+        assert sim.regs[R2] == 0x44 and sim.regs[R3] == 0x11
+        assert sim.regs[R1] == 0xFF
+
+    def test_out_of_bounds_access_raises(self):
+        with pytest.raises(SimError):
+            _run([MOp("ldw", R1, [Imm(61)]), HALT], memory_size=64)
+        with pytest.raises(SimError):
+            _run([MOp("stw", None, [Imm(100), Imm(1)]), HALT], memory_size=64)
+
+    def test_negative_address_wraps_then_bounds_checked(self):
+        # -4 & MASK32 == 0xFFFFFFFC: out of range, not a Python tail read.
+        with pytest.raises(SimError):
+            _run([MOp("ldw", R1, [Imm(-4)]), HALT], memory_size=64)
+
+    def test_preload_visible_to_loads(self):
+        sim = _sim([MOp("ldw", R1, [Imm(4)]), HALT], memory_size=64)
+        sim.preload([(4, b"\x2a\x00\x00\x00")])
+        assert sim.run().exit_code == 42
+
+
+class TestScalarCompiledPrograms:
+    def test_branch_heavy_source_program(self):
+        src = """
+        int collatz(int n){ int steps=0;
+            while (n != 1){ if (n % 2 == 0) n = n / 2; else n = 3*n + 1; steps++; }
+            return steps; }
+        int main(void){ return collatz(27) - 111; }
+        """
+        for name in ("mblaze-3", "mblaze-5"):
+            compiled = compile_for_machine(compile_source(src), build_machine(name))
+            result = run_compiled(compiled)
+            assert result.exit_code == 0, name
+            assert result.taken_branches > 100, name
+            assert result.cycles > result.instructions, name
