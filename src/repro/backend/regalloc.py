@@ -133,17 +133,17 @@ def _build_intervals(
     starts: dict[VReg, int] = {}
     ends: dict[VReg, int] = {}
     call_positions: list[int] = []
-    fixed: dict[PhysReg, list[int]] = {}
+    fixed_pos: dict[PhysReg, set[int]] = {}
+    numbered: list[tuple[str, list[tuple[int, MOp]]]] = []
 
     def touch(reg, pos: int) -> None:
         if isinstance(reg, VReg):
             starts.setdefault(reg, pos)
             ends[reg] = max(ends.get(reg, pos), pos)
-        else:
-            fixed.setdefault(reg, []).append(pos)
 
     for block in mfunc.blocks:
         block_start = position
+        ops_at: list[tuple[int, MOp]] = []
         for reg in live_in[block.name]:
             touch(reg, block_start)
         for op in block.ops:
@@ -154,10 +154,37 @@ def _build_intervals(
                 touch(reg, position)
             if op.op == "call":
                 call_positions.append(position)
+            ops_at.append((position, op))
             position += 1
         block_end = max(position - 1, block_start)
         for reg in live_out[block.name]:
             touch(reg, block_end)
+        numbered.append((block.name, ops_at))
+
+    # Physical registers get *dense* live ranges, not touch points.  A
+    # machine register is occupied at every position from its definition
+    # (or function entry, for live-in registers) up to its last read; a
+    # vreg interval that sits entirely inside the gap between two touch
+    # points would otherwise look conflict-free and silently clobber the
+    # value in flight.  The incoming argument registers are the canonical
+    # case: RF0[1..4] hold the caller's arguments from position 0 until
+    # the entry copies consume them, so a dead first-parameter copy must
+    # never be allocated a *later* parameter's still-unread register.
+    for name, ops_at in numbered:
+        live = {r for r in live_out[name] if not isinstance(r, VReg)}
+        for pos, op in reversed(ops_at):
+            uses, defs = _op_uses_defs(op, clobbers)
+            for reg in defs:
+                if not isinstance(reg, VReg):
+                    live.discard(reg)
+                    fixed_pos.setdefault(reg, set()).add(pos)
+            for reg in uses:
+                if not isinstance(reg, VReg):
+                    live.add(reg)
+            for reg in live:
+                fixed_pos.setdefault(reg, set()).add(pos)
+
+    fixed = {reg: sorted(positions) for reg, positions in fixed_pos.items()}
     intervals = [
         Interval(vreg, starts[vreg], ends.get(vreg, starts[vreg])) for vreg in starts
     ]

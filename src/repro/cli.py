@@ -11,6 +11,11 @@ Commands:
 * ``sweep`` -- run the (machine, kernel) evaluation matrix through the
   parallel, disk-cached pipeline (``--jobs``, ``--machines``,
   ``--kernels``, ``--no-cache``, ``--refresh``, ``--json``).
+* ``fuzz`` -- differential fuzzing: generate seeded random kernels and
+  co-simulate them on every design point and engine mode against the
+  reference-interpreter oracle; divergences are auto-minimized into
+  ``fuzz/corpus/`` reproducers (``--seed``, ``--count``, ``--machines``,
+  ``--modes``, ``--jobs``, ``--time-budget``, ``--smoke``, ``--json``).
 * ``synth MACHINE`` -- print the analytic synthesis report.
 """
 
@@ -58,8 +63,23 @@ def _cmd_kernels(_args) -> int:
 
 
 def _load_module(path: str):
-    source = Path(path).read_text()
-    return compile_source(source)
+    """Compile *path*, or ``None`` after an error message (exit code 2).
+
+    Unreadable files and MiniC compile errors are user mistakes, not
+    crashes: report them on stderr instead of dumping a traceback.
+    """
+    from repro.frontend import CompileError
+
+    try:
+        source = Path(path).read_text()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc.strerror or exc}", file=sys.stderr)
+        return None
+    try:
+        return compile_source(source)
+    except CompileError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
 
 
 def _cmd_run(args) -> int:
@@ -86,6 +106,8 @@ def _cmd_run(args) -> int:
         )
         return 2
     module = _load_module(args.file)
+    if module is None:
+        return 2
     machine = build_machine(args.machine)
     compiled = compile_for_machine(module, machine)
     scalar = machine.style is MachineStyle.SCALAR
@@ -126,6 +148,8 @@ def _cmd_asm(args) -> int:
     from repro.backend.asmprint import format_program, program_statistics
 
     module = _load_module(args.file)
+    if module is None:
+        return 2
     compiled = compile_for_machine(module, build_machine(args.machine))
     print(format_program(compiled.program, start=args.start, count=args.count))
     print()
@@ -145,9 +169,11 @@ def _parse_subsets(args) -> tuple[tuple[str, ...], tuple[str, ...] | None]:
     from repro.pipeline import parse_subset
 
     kernels = parse_subset(args.kernels, KERNELS, "kernel")
+    # "" is an *empty* subset (an error parse_subset reports), not "all
+    # machines" -- only an absent flag means the full set
     machines = (
         parse_subset(args.machines, preset_names(), "machine")
-        if getattr(args, "machines", None)
+        if getattr(args, "machines", None) is not None
         else None
     )
     return kernels, machines
@@ -231,6 +257,114 @@ def _cmd_sweep(args) -> int:
                 f"{error.message.splitlines()[0] if error.message else ''}"
             )
     return 0 if outcome.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import FuzzConfig, default_corpus_dir, run_fuzz
+    from repro.fuzz.diff import ALL_MODES
+    from repro.pipeline import ArtifactStore, default_store, parse_subset
+
+    # --smoke: a bounded, deterministic CI-sized campaign; explicit
+    # --count/--time-budget still win when given alongside it.
+    count = args.count
+    time_budget = args.time_budget
+    minimize_checks = 2000
+    if args.smoke:
+        if count is None:
+            count = 5
+        if time_budget is None:
+            time_budget = 120.0
+        # smoke campaigns stay bounded even when they do find a bug:
+        # minimization gets a small predicate budget instead of the
+        # full overnight one.
+        minimize_checks = 200
+    if count is None:
+        count = 50
+    if count < 0:
+        print(f"error: --count must be >= 0, got {count}", file=sys.stderr)
+        return 2
+    if time_budget is not None and time_budget <= 0:
+        print(
+            f"error: --time-budget must be positive (seconds), got {time_budget}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        machines = (
+            parse_subset(args.machines, preset_names(), "machine")
+            if args.machines is not None
+            else None
+        )
+        modes = (
+            parse_subset(args.modes, ALL_MODES, "mode")
+            if args.modes is not None
+            else None
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else default_store()
+
+    def _progress(done: int, total: int, case, outcome) -> None:
+        if args.quiet:
+            return
+        from repro.fuzz import FuzzCaseReport
+        from repro.pipeline import TaskError
+
+        if isinstance(outcome, FuzzCaseReport):
+            detail = "ok" if outcome.ok else "DIVERGED: " + "; ".join(
+                f"{d.mode}/{d.kind}" for d in outcome.divergences
+            )
+        elif isinstance(outcome, TaskError):
+            detail = f"ERROR {outcome.error_type}"
+        else:  # pragma: no cover - defensive
+            detail = str(outcome)
+        print(
+            f"[{done:4d}/{total}] {case.machine:10s} {case.kernel:14s} {detail}",
+            file=sys.stderr,
+        )
+
+    report = run_fuzz(
+        FuzzConfig(
+            seed=args.seed,
+            count=count,
+            machines=machines,
+            modes=modes,
+            jobs=args.jobs,
+            time_budget=time_budget,
+            minimize=not args.no_minimize,
+            minimize_checks=minimize_checks,
+            corpus_dir=args.corpus_dir or default_corpus_dir(),
+            store=store,
+            use_cache=not args.no_cache,
+            progress=_progress,
+        )
+    )
+    print(
+        f"fuzzed {report.generated} kernels (seed {report.seed}) on "
+        f"{len(report.machines)} machines x {'/'.join(report.modes)}: "
+        f"{report.cases_ok}/{report.cases_total} cases ok "
+        f"({report.cases_cached} cached), {report.cases_diverged} diverged, "
+        f"{len(report.errors)} errors in {report.elapsed_s:.1f}s"
+        + (" [time budget exhausted]" if report.budget_exhausted else ""),
+        file=sys.stderr,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for div in report.divergences:
+            print(f"DIVERGENCE: {div.summary()}")
+        for rep in report.reproducers:
+            print(
+                f"reproducer : {rep.entry} ({rep.lines} lines)"
+                + (f" -> {rep.path}" if rep.path else "")
+            )
+        for err in report.errors:
+            print(
+                f"ERROR      : {err.machine}/{err.kernel} {err.error_type}: "
+                f"{err.message.splitlines()[0] if err.message else ''}"
+            )
+    return 0 if report.ok else 1
 
 
 def _cmd_synth(args) -> int:
@@ -341,6 +475,63 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("-q", "--quiet", action="store_true",
                          help="suppress per-pair progress on stderr")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random kernels co-simulated on every "
+        "design point and engine against the reference interpreter",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; kernel i of seed s is fully deterministic",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=None,
+        help="how many kernels to generate (default 50; 5 with --smoke)",
+    )
+    p_fuzz.add_argument("--machines", default=None,
+                        help="comma-separated design-point subset (default: all 13)")
+    p_fuzz.add_argument(
+        "--modes", default=None,
+        help="comma-separated engine subset of checked,fast,turbo "
+        "(default: all three; the scalar core always runs its single engine)",
+    )
+    p_fuzz.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, in-process)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget", type=float, default=None,
+        help="stop scheduling new kernels after this many seconds",
+    )
+    p_fuzz.add_argument(
+        "--smoke", action="store_true",
+        help="bounded CI preset: 5 kernels, 120s budget (explicit "
+        "--count/--time-budget still win)",
+    )
+    p_fuzz.add_argument(
+        "--no-minimize", action="store_true",
+        help="report divergences without delta-debugging reproducers",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir", default=None,
+        help="where minimized reproducers are written "
+        "(default: $REPRO_FUZZ_CORPUS or fuzz/corpus at the repo root)",
+    )
+    p_fuzz.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write memoised passing verdicts",
+    )
+    p_fuzz.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/artifacts)",
+    )
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="JSON campaign report on stdout")
+    p_fuzz.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-case progress on stderr")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_syn = sub.add_parser("synth", help="analytic synthesis report")
     p_syn.add_argument("machine", choices=preset_names())

@@ -1,0 +1,319 @@
+"""Failure minimization: delta-debugging over the generated AST.
+
+Given a kernel AST and a predicate ``still_fails(source) -> bool`` (the
+harness builds one that re-runs the oracle and the diverging
+machine/mode and checks the divergence reproduces), the minimizer
+shrinks the program while keeping the predicate true:
+
+1. **top-level removal** -- drop whole helper functions, global arrays
+   and global scalars;
+2. **statement ddmin** -- delta-debug every statement list (function
+   bodies, ``main``, loop and branch bodies) with shrinking chunk sizes;
+3. **structure collapsing** -- replace a loop by its body, reduce trip
+   counts toward 1, normalise while/do loops to ``for``; replace an
+   ``if`` by either branch;
+4. **expression shrinking** -- replace any expression by one of its
+   subexpressions or by ``0``/``1``.
+
+Candidates that no longer compile, no longer terminate under the oracle
+budget, or fail *differently* are simply rejected by the predicate, so
+the passes can be naive about scoping (removing a declaration whose
+uses remain just produces a rejected candidate).
+
+The passes loop to a fixpoint (bounded by ``max_rounds``).  Every
+predicate call costs a compile + a couple of simulations, so the whole
+thing is O(predicate calls); a source-text cache prevents re-testing
+identical candidates.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Callable
+
+from repro.fuzz.gen import (
+    Assign,
+    Bin,
+    Break,
+    CallE,
+    Cast,
+    Continue,
+    Decl,
+    If,
+    Idx,
+    KernelAst,
+    Lit,
+    Loop,
+    Ret,
+    Tern,
+    Un,
+    render_kernel,
+)
+
+Predicate = Callable[[str], bool]
+
+
+class _Minimizer:
+    def __init__(self, predicate: Predicate, max_checks: int = 2000):
+        self.predicate = predicate
+        self.cache: dict[str, bool] = {}
+        self.checks = 0
+        self.max_checks = max_checks
+
+    def fails(self, ast: KernelAst) -> bool:
+        source = render_kernel(ast)
+        if source in self.cache:
+            return self.cache[source]
+        if self.checks >= self.max_checks:
+            return False  # budget exhausted: reject every further change
+        self.checks += 1
+        try:
+            verdict = bool(self.predicate(source))
+        except Exception:
+            verdict = False  # a crashing candidate is not "the same failure"
+        self.cache[source] = verdict
+        return verdict
+
+
+# ---------------------------------------------------------------------------
+# Pass 1+2: list-level delta debugging
+# ---------------------------------------------------------------------------
+
+
+def _ddmin_list(items: list, test: Callable[[list], bool]) -> list:
+    """Shrink *items* while ``test`` accepts the candidate (ddmin-style:
+    chunked removal with halving chunk size, iterated to fixpoint)."""
+    changed = True
+    while changed and items:
+        changed = False
+        chunk = max(1, len(items) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(items):
+                candidate = items[:i] + items[i + chunk :]
+                if test(candidate):
+                    items = candidate
+                    changed = True
+                else:
+                    i += chunk
+            chunk //= 2
+    return items
+
+
+def _body_slots(ast: KernelAst):
+    """Yield ``(holder, attr)`` for every statement list in the program."""
+
+    def walk(stmts: list, holder, attr):
+        yield holder, attr
+        for s in stmts:
+            if isinstance(s, Loop):
+                yield from walk(s.body, s, "body")
+            elif isinstance(s, If):
+                yield from walk(s.then, s, "then")
+                yield from walk(s.els, s, "els")
+
+    yield from walk(ast.main_body, ast, "main_body")
+    for fn in ast.funcs:
+        yield from walk(fn.body, fn, "body")
+
+
+def _shrink_toplevel(m: _Minimizer, ast: KernelAst) -> bool:
+    changed = False
+    for attr in ("funcs", "arrays", "scalars"):
+        items = getattr(ast, attr)
+
+        def test(candidate, attr=attr, items=items):
+            saved = getattr(ast, attr)
+            setattr(ast, attr, candidate)
+            ok = m.fails(ast)
+            setattr(ast, attr, saved)
+            return ok
+
+        reduced = _ddmin_list(list(items), test)
+        if len(reduced) < len(items):
+            setattr(ast, attr, reduced)
+            changed = True
+    return changed
+
+
+def _shrink_statements(m: _Minimizer, ast: KernelAst) -> bool:
+    changed = False
+    for holder, attr in list(_body_slots(ast)):
+        items = getattr(holder, attr)
+
+        def test(candidate, holder=holder, attr=attr):
+            saved = getattr(holder, attr)
+            setattr(holder, attr, candidate)
+            ok = m.fails(ast)
+            setattr(holder, attr, saved)
+            return ok
+
+        reduced = _ddmin_list(list(items), test)
+        if len(reduced) < len(items):
+            setattr(holder, attr, reduced)
+            changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: structure collapsing
+# ---------------------------------------------------------------------------
+
+
+def _collapse_structures(m: _Minimizer, ast: KernelAst) -> bool:
+    changed = False
+    for holder, attr in list(_body_slots(ast)):
+        stmts = getattr(holder, attr)
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            candidates: list[list] = []
+            if isinstance(s, Loop):
+                # inline the body (drops the loop entirely)
+                candidates.append(stmts[:i] + list(s.body) + stmts[i + 1 :])
+                if s.trip > 1:
+                    candidates.append(
+                        stmts[:i]
+                        + [Loop(s.counter, 1, s.body, s.style)]
+                        + stmts[i + 1 :]
+                    )
+                if s.style != "for":
+                    candidates.append(
+                        stmts[:i]
+                        + [Loop(s.counter, s.trip, s.body, "for")]
+                        + stmts[i + 1 :]
+                    )
+            elif isinstance(s, If):
+                candidates.append(stmts[:i] + list(s.then) + stmts[i + 1 :])
+                if s.els:
+                    candidates.append(stmts[:i] + list(s.els) + stmts[i + 1 :])
+                    candidates.append(
+                        stmts[:i] + [If(s.cond, s.then, [])] + stmts[i + 1 :]
+                    )
+            for candidate in candidates:
+                saved = getattr(holder, attr)
+                setattr(holder, attr, candidate)
+                if m.fails(ast):
+                    stmts = candidate
+                    changed = True
+                    break
+                setattr(holder, attr, saved)
+            else:
+                i += 1
+                continue
+            # a candidate was accepted; re-examine the same index
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: expression shrinking
+# ---------------------------------------------------------------------------
+
+
+def _subexprs(e) -> list:
+    if isinstance(e, Bin):
+        return [e.a, e.b]
+    if isinstance(e, (Un, Cast)):
+        return [e.a]
+    if isinstance(e, Tern):
+        return [e.a, e.b, e.cond]
+    if isinstance(e, CallE):
+        return list(e.args)
+    if isinstance(e, Idx):
+        return []  # replacing an lvalue-capable node needs care; skip
+    return []
+
+
+def _expr_slots(stmt):
+    """Yield ``(getter, setter)`` for every expression slot of *stmt*."""
+    slots = []
+    if isinstance(stmt, Decl) and stmt.init is not None:
+        slots.append(("init",))
+    elif isinstance(stmt, Assign):
+        slots.append(("value",))
+    elif isinstance(stmt, If):
+        slots.append(("cond",))
+    elif isinstance(stmt, (Break, Continue)):
+        slots.append(("guard",))
+    elif isinstance(stmt, Ret):
+        slots.append(("value",))
+    for (attr,) in slots:
+        yield (
+            lambda stmt=stmt, attr=attr: getattr(stmt, attr),
+            lambda v, stmt=stmt, attr=attr: setattr(stmt, attr, v),
+        )
+
+
+def _all_statements(ast: KernelAst):
+    for holder, attr in _body_slots(ast):
+        yield from getattr(holder, attr)
+
+
+def _shrink_expr_at(m: _Minimizer, ast: KernelAst, get, set_) -> bool:
+    """Greedily replace the expression at one slot by something smaller."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        current = get()
+        if isinstance(current, Lit):
+            # already minimal; in particular never swap one literal for
+            # another -- with both variants cached as failing that would
+            # ping-pong 0 <-> 1 forever on cache hits (which are free and
+            # therefore not stopped by the check budget)
+            break
+        candidates = [Lit("0"), Lit("1")] + _subexprs(current)
+        for candidate in candidates:
+            if candidate is current:
+                continue
+            set_(candidate)
+            if m.fails(ast):
+                changed = True
+                progress = True
+                break
+            set_(current)
+    return changed
+
+
+def _shrink_expressions(m: _Minimizer, ast: KernelAst) -> bool:
+    changed = False
+    for stmt in list(_all_statements(ast)):
+        for get, set_ in _expr_slots(stmt):
+            if _shrink_expr_at(m, ast, get, set_):
+                changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def minimize_kernel(
+    ast: KernelAst,
+    predicate: Predicate,
+    *,
+    max_rounds: int = 6,
+    max_checks: int = 2000,
+) -> KernelAst:
+    """Shrink *ast* while ``predicate(render_kernel(ast))`` stays true.
+
+    Returns a **new** AST (the input is never mutated).  If the
+    predicate does not even hold for the input, the input is returned
+    unchanged.  ``max_checks`` bounds the total number of predicate
+    evaluations (each one compiles and simulates a candidate).
+    """
+    work = copy.deepcopy(ast)
+    m = _Minimizer(predicate, max_checks=max_checks)
+    if not m.fails(work):
+        return work
+    for _ in range(max_rounds):
+        changed = False
+        changed |= _shrink_toplevel(m, work)
+        changed |= _shrink_statements(m, work)
+        changed |= _collapse_structures(m, work)
+        changed |= _shrink_expressions(m, work)
+        if not changed:
+            break
+    assert m.fails(work), "minimizer invariant: the result must still fail"
+    return work

@@ -1,0 +1,45 @@
+"""The fuzzing oracle: the frontend reference interpreter.
+
+Generated kernels are executed on :class:`repro.ir.interp.Interpreter`
+over **unoptimized** IR.  Everything downstream of ``generate_ir`` --
+the whole-program optimizer, both schedulers, register allocation,
+finalization and all three simulation engines -- is thereby inside the
+differential net: any of them disagreeing with the oracle is a bug in
+exactly one identifiable layer.
+
+A kernel the *oracle itself* cannot run (compile error, runaway step
+budget) is a **generator** bug, not a toolchain bug; it is reported as
+:class:`GeneratorError` so a campaign fails loudly instead of silently
+skipping bad kernels.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import CompileError, compile_source
+from repro.ir.interp import Interpreter, InterpError
+
+#: step budget for generated kernels; the generator's static work bound
+#: keeps real kernels far below this, so hitting it means the generator
+#: emitted a non-terminating (or absurdly hot) program.
+ORACLE_MAX_STEPS = 20_000_000
+
+
+class GeneratorError(RuntimeError):
+    """The random generator emitted a kernel the oracle cannot run."""
+
+
+def reference_run(source: str, max_steps: int = ORACLE_MAX_STEPS) -> int:
+    """Exit code (u32) of *source* per the reference interpreter.
+
+    Raises :class:`GeneratorError` when the kernel does not compile or
+    exceeds the step budget -- both are generator defects by
+    construction.
+    """
+    try:
+        module = compile_source(source, module_name="fuzz", optimize=False)
+    except CompileError as exc:
+        raise GeneratorError(f"generated kernel does not compile: {exc}") from exc
+    try:
+        return Interpreter(module, max_steps=max_steps).run()
+    except InterpError as exc:
+        raise GeneratorError(f"generated kernel is invalid for the oracle: {exc}") from exc

@@ -106,6 +106,173 @@ def encode_machine(machine: Machine) -> EncodingInfo:
     return EncodingInfo(machine.name, 32, (32,), machine.simm_bits)
 
 
+# ---------------------------------------------------------------------------
+# Bit-level move codec
+# ---------------------------------------------------------------------------
+
+
+class MoveEncodeError(ValueError):
+    """A move cannot be expressed in its bus's encoding space."""
+
+
+class MoveCodec:
+    """Bit-exact encoder/decoder for TTA transport moves.
+
+    Materialises, per bus, the deterministic source/destination code
+    tables that :func:`encode_machine` only *counts*: every reachable
+    (RF, index) register, every FU result port, every (trigger, opcode)
+    pair and every plain operand port gets one code, enumerated over the
+    bus's endpoints in sorted order.  When the bus carries an ``IMM``
+    source, short immediates occupy the code space above the endpoint
+    codes as ``simm_bits``-bit two's-complement values.
+
+    ``decode_move(bus, encode_move(move)) == (move.src, move.dst)`` for
+    every connected move whose immediate (if any) fits the short-
+    immediate field -- the property the encode/decode round-trip tests
+    fuzz.  Long immediates span extra template slots in the real
+    encoding and are rejected with :class:`MoveEncodeError` here.
+
+    Note: the per-bus codec widths can exceed
+    :class:`EncodingInfo.slot_widths` by up to one bit -- the paper's
+    width model assumes the immediate alternative *shares* the source
+    field's code space (TCE long-immediate templates), while the codec
+    must keep every code distinct to stay invertible.
+    """
+
+    def __init__(self, machine: Machine):
+        if machine.style is not MachineStyle.TTA:
+            raise ValueError(
+                f"MoveCodec models TTA transport encoding; {machine.name} is "
+                f"{machine.style.value}"
+            )
+        self.machine = machine
+        self.simm_bits = machine.simm_bits
+        #: bus index -> ordered list of source tuples (("rf", rf, i) | ("fu", fu))
+        self._src_table: dict[int, list[tuple]] = {}
+        #: bus index -> ordered list of destination tuples
+        self._dst_table: dict[int, list[tuple]] = {}
+        self._has_imm: dict[int, bool] = {}
+        for bus in machine.buses:
+            sources: list[tuple] = []
+            for endpoint in sorted(bus.sources):
+                if endpoint == "IMM":
+                    continue
+                kind = machine.unit_kind_of_endpoint(endpoint)
+                name = endpoint.split(".", 1)[0]
+                if kind == "rf":
+                    rf = machine.rf_by_name[name]
+                    sources.extend(("rf", name, i) for i in range(rf.size))
+                else:
+                    sources.append(("fu", name))
+            destinations: list[tuple] = []
+            for endpoint in sorted(bus.destinations):
+                kind = machine.unit_kind_of_endpoint(endpoint)
+                name, port = endpoint.split(".", 1)
+                if kind == "rf":
+                    rf = machine.rf_by_name[name]
+                    destinations.extend(("rf", name, i) for i in range(rf.size))
+                elif port == "t":
+                    fu = machine.fu_by_name[name]
+                    destinations.extend(("op", name, "t", op) for op in sorted(fu.ops))
+                else:
+                    destinations.append(("op", name, port, None))
+            self._src_table[bus.index] = sources
+            self._dst_table[bus.index] = destinations
+            self._has_imm[bus.index] = "IMM" in bus.sources
+        self._src_index = {
+            b: {code: i for i, code in enumerate(table)}
+            for b, table in self._src_table.items()
+        }
+        self._dst_index = {
+            b: {code: i for i, code in enumerate(table)}
+            for b, table in self._dst_table.items()
+        }
+
+    # ---- widths ---------------------------------------------------------
+
+    def src_field_width(self, bus_index: int) -> int:
+        codes = len(self._src_table[bus_index])
+        if self._has_imm[bus_index]:
+            codes += 1 << self.simm_bits
+        return _bits_for(codes)
+
+    def dst_field_width(self, bus_index: int) -> int:
+        return _bits_for(len(self._dst_table[bus_index]))
+
+    def slot_width(self, bus_index: int) -> int:
+        """Bits one encoded move occupies on this bus."""
+        return self.src_field_width(bus_index) + self.dst_field_width(bus_index)
+
+    # ---- encode ---------------------------------------------------------
+
+    def _encode_src(self, bus_index: int, src: tuple) -> int:
+        if src[0] == "imm":
+            if not self._has_imm[bus_index]:
+                raise MoveEncodeError(
+                    f"bus {bus_index} has no IMM source for {src!r}"
+                )
+            value = src[1] & 0xFFFFFFFF
+            signed = value - 0x100000000 if value & 0x80000000 else value
+            half = 1 << (self.simm_bits - 1)
+            if not -half <= signed < half:
+                raise MoveEncodeError(
+                    f"immediate {signed} does not fit {self.simm_bits} bits "
+                    f"(long-immediate templates are not codec-encodable)"
+                )
+            return len(self._src_table[bus_index]) + (signed & ((1 << self.simm_bits) - 1))
+        try:
+            return self._src_index[bus_index][src]
+        except KeyError:
+            raise MoveEncodeError(
+                f"source {src!r} is not connected to bus {bus_index}"
+            ) from None
+
+    def encode_move(self, move) -> int:
+        """The move's bit pattern: source field above destination field."""
+        try:
+            dst_code = self._dst_index[move.bus][move.dst]
+        except KeyError:
+            raise MoveEncodeError(
+                f"destination {move.dst!r} is not connected to bus {move.bus}"
+            ) from None
+        src_code = self._encode_src(move.bus, move.src)
+        return (src_code << self.dst_field_width(move.bus)) | dst_code
+
+    def decode_move(self, bus_index: int, bits: int) -> tuple[tuple, tuple]:
+        """Invert :meth:`encode_move`; returns ``(src, dst)`` tuples."""
+        width = self.slot_width(bus_index)
+        if not 0 <= bits < (1 << width):
+            raise MoveEncodeError(
+                f"bit pattern {bits:#x} exceeds bus {bus_index}'s {width}-bit slot"
+            )
+        dst_width = self.dst_field_width(bus_index)
+        dst_code = bits & ((1 << dst_width) - 1)
+        src_code = bits >> dst_width
+        dst_table = self._dst_table[bus_index]
+        if dst_code >= len(dst_table):
+            raise MoveEncodeError(
+                f"destination code {dst_code} out of range on bus {bus_index}"
+            )
+        dst = dst_table[dst_code]
+        src_table = self._src_table[bus_index]
+        if src_code < len(src_table):
+            src = src_table[src_code]
+        else:
+            if not self._has_imm[bus_index]:
+                raise MoveEncodeError(
+                    f"source code {src_code} out of range on bus {bus_index}"
+                )
+            raw = src_code - len(src_table)
+            if raw >= (1 << self.simm_bits):
+                raise MoveEncodeError(
+                    f"source code {src_code} out of range on bus {bus_index}"
+                )
+            half = 1 << (self.simm_bits - 1)
+            signed = raw - (1 << self.simm_bits) if raw >= half else raw
+            src = ("imm", signed & 0xFFFFFFFF)
+        return src, dst
+
+
 def immediate_slot_cost(machine: Machine, value: int) -> int:
     """Extra transport/issue slots needed to encode immediate *value*.
 

@@ -7,7 +7,12 @@ the legacy ``repro.eval.runner`` wrapper all go through it, which is
 what makes "parallel results are byte-identical to serial results" a
 structural property rather than a test-enforced one.
 
-``run_tasks`` fans a task list out over a ``multiprocessing`` pool with:
+``run_tasks`` fans a task list out over a ``multiprocessing`` pool.  It
+is *worker-generic*: any module-level callable taking one task and
+returning a picklable outcome can ride the same machinery (the fuzzing
+subsystem fans its differential cases out through it with
+``worker=execute_fuzz_task``).  Tasks only need ``machine`` and
+``kernel`` attributes for failure attribution.  The pool gives:
 
 * **per-task failure isolation** — a raising pair becomes a
   :class:`~repro.pipeline.types.TaskError` carrying the full traceback;
@@ -20,6 +25,7 @@ structural property rather than a test-enforced one.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import traceback
 from collections.abc import Callable, Sequence
@@ -28,6 +34,9 @@ from repro.pipeline.types import EvalResult, SweepTask, TaskError
 
 #: callback signature: (done_count, total, task, outcome)
 ProgressFn = Callable[[int, int, SweepTask, "EvalResult | TaskError"], None]
+
+#: worker signature: one task in, one picklable outcome out (raises on failure)
+WorkerFn = Callable[[SweepTask], object]
 
 
 def execute_task(task: SweepTask) -> EvalResult:
@@ -67,15 +76,17 @@ def execute_task(task: SweepTask) -> EvalResult:
     )
 
 
-def _attempt(indexed: tuple[int, SweepTask]) -> tuple[int, EvalResult | TaskError]:
+def _attempt(worker: WorkerFn, indexed: tuple[int, SweepTask]) -> tuple[int, object]:
     """Pool worker: never raises; failures come back as TaskError.
 
     Returns plain dataclasses (no Machine/Program objects) so the
-    pickled payload crossing the process boundary stays tiny.
+    pickled payload crossing the process boundary stays tiny.  *worker*
+    must be a module-level callable (the pool pickles it via
+    ``functools.partial``).
     """
     index, task = indexed
     try:
-        return index, execute_task(task)
+        return index, worker(task)
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
         return index, TaskError(
             machine=task.machine,
@@ -96,12 +107,16 @@ def run_tasks(
     jobs: int = 1,
     retries: int = 1,
     progress: ProgressFn | None = None,
+    worker: WorkerFn = execute_task,
 ) -> list[EvalResult | TaskError]:
     """Execute *tasks*, serially (``jobs<=1``) or over a process pool.
 
     Returns one outcome per task, **in task order**.  ``retries`` bounds
     how many times a failing task is re-attempted (its final
-    :class:`TaskError` records the attempt count).
+    :class:`TaskError` records the attempt count).  *worker* is the
+    per-task measurement function; the default is the sweep pipeline's
+    :func:`execute_task`, and it must be a module-level callable so the
+    pool can pickle it.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -111,7 +126,7 @@ def run_tasks(
     done = 0
     while pending:
         next_pending: list[tuple[int, SweepTask]] = []
-        for index, outcome in _iter_round(pending, jobs):
+        for index, outcome in _iter_round(pending, jobs, worker):
             attempts[index] += 1
             if isinstance(outcome, TaskError):
                 if attempts[index] <= retries:
@@ -134,15 +149,16 @@ def run_tasks(
     return outcomes  # type: ignore[return-value]
 
 
-def _iter_round(pending: list[tuple[int, SweepTask]], jobs: int):
+def _iter_round(pending: list[tuple[int, SweepTask]], jobs: int, worker: WorkerFn):
     """Yield ``(index, outcome)`` as each pending task completes."""
+    attempt = functools.partial(_attempt, worker)
     if jobs <= 1 or len(pending) <= 1:
         for item in pending:
-            yield _attempt(item)
+            yield attempt(item)
         return
     ctx = _pool_context()
     workers = min(jobs, len(pending))
     with ctx.Pool(processes=workers) as pool:
         # unordered: slow pairs (jpeg on mblaze) don't serialise the rest;
         # the index restores deterministic order afterwards.
-        yield from pool.imap_unordered(_attempt, pending)
+        yield from pool.imap_unordered(attempt, pending)

@@ -5,6 +5,7 @@ Layout (under the store root, default ``~/.cache/repro/artifacts`` or
 
     results/<k0k1>/<key>.json    # EvalResult entries (JSON payload)
     programs/<k0k1>/<key>.pkl    # CompiledProgram entries (pickle payload)
+    json/<k0k1>/<key>.json       # generic JSON entries (fuzz verdicts, ...)
 
 where ``<key>`` is the hex SHA-256 content fingerprint from
 :mod:`repro.pipeline.fingerprint` and ``<k0k1>`` its first two hex
@@ -35,6 +36,7 @@ from repro.pipeline.types import EvalResult
 _HEADER_PREFIX = b"repro-artifact sha256="
 _KIND_RESULTS = "results"
 _KIND_PROGRAMS = "programs"
+_KIND_JSON = "json"
 
 #: environment override for the store root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -81,6 +83,9 @@ class ArtifactStore:
 
     def program_path(self, key: str) -> Path:
         return self._entry_path(_KIND_PROGRAMS, key, ".pkl")
+
+    def json_path(self, key: str) -> Path:
+        return self._entry_path(_KIND_JSON, key, ".json")
 
     # ---- raw entry I/O --------------------------------------------------
 
@@ -156,6 +161,34 @@ class ArtifactStore:
             self._drop_corrupt(path)
             return None
 
+    # ---- generic JSON entries -------------------------------------------
+
+    def store_json(self, key: str, payload: dict) -> Path:
+        """Store an arbitrary JSON-serialisable dict (same atomicity and
+        self-verification guarantees as the typed entry kinds).  Used by
+        the fuzzing subsystem to memoise passing differential verdicts."""
+        path = self.json_path(key)
+        blob = json.dumps(payload, sort_keys=True, indent=0).encode()
+        self._write_entry(path, blob)
+        return path
+
+    def load_json(self, key: str) -> dict | None:
+        path = self.json_path(key)
+        blob = self._read_entry(path)
+        if blob is None:
+            return None
+        try:
+            payload = json.loads(blob)
+        except ValueError:
+            self.stats.hits -= 1
+            self._drop_corrupt(path)
+            return None
+        if not isinstance(payload, dict):
+            self.stats.hits -= 1
+            self._drop_corrupt(path)
+            return None
+        return payload
+
     # ---- CompiledProgram entries ----------------------------------------
 
     def store_program(self, key: str, compiled) -> Path:
@@ -181,7 +214,7 @@ class ArtifactStore:
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed."""
         removed = 0
-        for kind in (_KIND_RESULTS, _KIND_PROGRAMS):
+        for kind in (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON):
             base = self.root / kind
             if not base.exists():
                 continue
@@ -196,7 +229,7 @@ class ArtifactStore:
 
     def entry_count(self) -> dict[str, int]:
         counts = {}
-        for kind in (_KIND_RESULTS, _KIND_PROGRAMS):
+        for kind in (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON):
             base = self.root / kind
             counts[kind] = (
                 sum(1 for p in base.rglob("*") if p.is_file() and not p.name.endswith(".tmp"))

@@ -196,6 +196,57 @@ class TestRegisterAllocation:
         result = run_compiled(compiled)
         assert result.exit_code == sum(range(1, 41)) & 0xFFFFFFFF
 
+    def test_incoming_arg_regs_not_clobbered_by_entry_copies(self):
+        # Regression for a bug the differential fuzzer found (fuzz-0-36,
+        # pinned as fuzz/corpus/bug-regalloc-arg-clobber-mblaze-3): the
+        # allocator recorded physical registers as isolated touch points,
+        # so the dead entry copy for parameter ``a`` (a one-position
+        # interval) slipped into the gap between function entry and the
+        # read of RF0[2] -- the register still holding incoming argument
+        # ``b`` -- and f1 returned ``a`` instead of ``b`` on every
+        # machine.  Incoming argument registers must be modelled as live
+        # from position 0 until their entry copies consume them.
+        src = """
+        int f0(int a, int b) { return 0; }
+        int f1(int a, int b) { int t = f0(b * 255, 7); return b; }
+        int main(void) { return f1(11, 22); }
+        """
+        from repro.backend import compile_for_machine
+        from repro.sim import run_compiled
+
+        module = compile_source(src)
+        for name in ("mblaze-3", "m-tta-1", "m-vliw-2"):
+            compiled = compile_for_machine(module, build_machine(name))
+            assert run_compiled(compiled).exit_code == 22, name
+
+    def test_phys_reg_fixed_ranges_are_dense(self):
+        # The allocator's fixed-conflict model: a physical register live
+        # into a function occupies *every* position from entry to the
+        # read that consumes it, not just its touch points.  In a callee
+        # that makes a call, position 0 is the ``getra`` and argument
+        # ``b``'s entry copy reads its register at position 2 -- the old
+        # touch-point model left position 1 (parameter ``a``'s copy)
+        # unprotected, which is precisely where the clobber bug lived.
+        src = """
+        int g(int x) { return x; }
+        int f(int a, int b) { return g(a) + b; }
+        int main(void){ return f(1, 2); }
+        """
+        module = compile_source(src)
+        machine = build_machine("m-vliw-2")
+        mfunc = lower_function(module.functions["f"], machine, module.layout_globals())
+        clobbers = caller_saved(machine) | set(scratch_regs(machine))
+        _, _, fixed = _build_intervals(mfunc, clobbers)
+        entry = mfunc.blocks[0]
+        b_reg = entry.ops[2].srcs[0]  # getra; copy a; copy b <- RF0[2]
+        assert entry.ops[2].op == "copy" and not isinstance(b_reg, VReg)
+        positions = fixed[b_reg]
+        read_pos = 2
+        assert positions[: read_pos + 1] == [0, 1, 2], (
+            "incoming arg registers must be live at every position from "
+            "entry to their consuming read"
+        )
+
 
 class TestDDG:
     def test_raw_edge_latency(self):

@@ -133,3 +133,113 @@ class TestSweepCLI:
     def test_sweep_rejects_unknown_machine(self, capsys):
         assert main(["sweep", "--machines", "nope"]) == 2
         assert "unknown machine" in capsys.readouterr().err
+
+    def test_sweep_rejects_empty_subsets(self, capsys):
+        # "" is an empty subset (an error), never "everything"
+        assert main(["sweep", "--kernels", ""]) == 2
+        assert "empty kernel subset" in capsys.readouterr().err
+        assert main(["sweep", "--machines", ""]) == 2
+        assert "empty machine subset" in capsys.readouterr().err
+
+
+class TestRunErrorPaths:
+    def test_run_missing_file(self, capsys):
+        assert main(["run", "/no/such/file.mc", "-m", "m-tta-1"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "file.mc" in err
+
+    def test_run_compile_error_is_reported_not_raised(self, tmp_path, capsys):
+        path = tmp_path / "broken.mc"
+        path.write_text("int main( { return 0; }")
+        assert main(["run", str(path), "-m", "m-tta-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_unknown_machine_is_an_argparse_error(self, minic_file, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", minic_file, "-m", "nope"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_asm_missing_file(self, capsys):
+        assert main(["asm", "/no/such/file.mc", "-m", "m-tta-2"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestFuzzCLI:
+    def _fuzz(self, tmp_path, *extra):
+        return main(
+            [
+                "fuzz", "--seed", "3", "--count", "2",
+                "--machines", "m-tta-1,mblaze-3",
+                "--modes", "checked,fast",
+                "--no-cache", "-q",
+                "--corpus-dir", str(tmp_path / "corpus"),
+                *extra,
+            ]
+        )
+
+    def test_fuzz_clean_campaign(self, tmp_path, capsys):
+        assert self._fuzz(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "fuzzed 2 kernels (seed 3)" in captured.err
+        assert "4/4 cases ok" in captured.err
+        assert "diverged" in captured.err
+
+    def test_fuzz_json_report(self, tmp_path, capsys):
+        import json
+
+        assert self._fuzz(tmp_path, "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["seed"] == 3
+        assert payload["cases_total"] == 4
+        assert payload["machines"] == ["mblaze-3", "m-tta-1"]
+        assert payload["modes"] == ["checked", "fast"]
+        assert payload["divergences"] == []
+
+    def test_fuzz_smoke_preset(self, tmp_path, capsys):
+        rc = main(
+            ["fuzz", "--smoke", "--machines", "m-tta-1", "--count", "1",
+             "--no-cache", "-q", "--corpus-dir", str(tmp_path / "corpus")]
+        )
+        assert rc == 0
+        assert "fuzzed 1 kernels" in capsys.readouterr().err
+
+    def test_fuzz_progress_lines(self, tmp_path, capsys):
+        rc = main(
+            ["fuzz", "--seed", "1", "--count", "1", "--machines", "m-tta-1",
+             "--modes", "fast", "--no-cache",
+             "--corpus-dir", str(tmp_path / "corpus")]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[   1/1]" in err and "ok" in err
+
+    def test_fuzz_rejects_negative_count(self, capsys):
+        assert main(["fuzz", "--count", "-2"]) == 2
+        assert "--count must be >= 0" in capsys.readouterr().err
+
+    def test_fuzz_rejects_bad_time_budget(self, capsys):
+        assert main(["fuzz", "--count", "1", "--time-budget", "0"]) == 2
+        assert "--time-budget must be positive" in capsys.readouterr().err
+
+    def test_fuzz_rejects_unknown_machine(self, capsys):
+        assert main(["fuzz", "--count", "1", "--machines", "nope"]) == 2
+        assert "unknown machine 'nope'" in capsys.readouterr().err
+
+    def test_fuzz_rejects_unknown_mode(self, capsys):
+        assert main(["fuzz", "--count", "1", "--modes", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mode 'warp'" in err and "checked, fast, turbo" in err
+
+    def test_fuzz_rejects_empty_subsets(self, capsys):
+        assert main(["fuzz", "--count", "1", "--machines", ""]) == 2
+        assert "empty machine subset" in capsys.readouterr().err
+        assert main(["fuzz", "--count", "1", "--modes", ""]) == 2
+        assert "empty mode subset" in capsys.readouterr().err
+
+    def test_fuzz_zero_count_is_a_no_op_campaign(self, tmp_path, capsys):
+        assert self._fuzz(tmp_path, "--count", "0") == 0
+        assert "fuzzed 0 kernels" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Regression replay: every reproducer in ``fuzz/corpus/`` must agree
+with the oracle on its recorded machine, across every engine, on every
+commit.
+
+Entries come from two sources:
+
+* **minimized reproducers** a fuzz campaign persisted for a real
+  divergence -- once the underlying bug is fixed, the entry stays and
+  keeps the bug fixed forever;
+* **sentinels** seeded by hand for historically risky semantics
+  (INT_MIN division, shift masking, sub-word memory, the FNV state
+  fold) -- they guard the engine-equivalence claim even while no bug is
+  open.
+
+The assertion is intentionally total: the compiled program must produce
+the oracle's exit code under *every* engine mode and all engines must
+agree on every statistics counter (:func:`repro.fuzz.run_case` checks
+both).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzCase, load_corpus, reference_run, run_case
+from repro.fuzz.corpus import default_corpus_dir
+
+ENTRIES = load_corpus()
+
+
+def test_shipped_corpus_is_present():
+    # the repo seeds sentinel entries; an empty corpus means the replay
+    # below silently tests nothing, which must never happen quietly
+    assert default_corpus_dir().is_dir()
+    assert len(ENTRIES) >= 4
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_reproducer_stays_fixed(entry):
+    machine = entry.machine or "m-tta-1"
+    expected = reference_run(entry.source)
+    report = run_case(
+        FuzzCase(
+            machine=machine,
+            kernel=entry.name,
+            source=entry.source,
+            expected_exit=expected,
+        )
+    )
+    assert report.ok, "\n".join(d.summary() for d in report.divergences)
+    assert report.runs, "reproducer must actually execute"
+    for mode, record in report.runs.items():
+        assert record["exit_code"] == expected, (mode, record)
