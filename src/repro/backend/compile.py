@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.backend.abi import STACK_TOP, stack_pointer
 from repro.backend.finalize import finalize_function
 from repro.backend.lower import lower_function
@@ -60,6 +61,54 @@ def _schedule_scalar(mfunc: MFunction) -> list[ScheduledBlock]:
     ]
 
 
+def _record_schedule_counters(machine: Machine, program: Program) -> None:
+    """Fold schedule-quality statistics into the active tracer.
+
+    Only called when tracing is enabled — one pass over the linked
+    instruction stream, entirely outside any measured simulation loop.
+
+    * ``sched.instrs``       linked instruction words
+    * ``sched.moves``        scheduled TTA transports
+    * ``sched.bypass_moves`` FU→FU transports (RF read eliminated: the
+      operand rides the transport network instead of touching a
+      register file — the paper's core RF-traffic argument)
+    * ``sched.rf_write_moves`` transports landing in a register file
+    * ``sched.longimm_slots``  extra bus slots consumed by wide
+      immediates
+    * ``sched.ops``          scheduled VLIW/scalar operations
+    * ``sched.nop_slots``    empty TTA bus slots / VLIW issue slots
+    """
+    from repro.backend.program import TTAInstr, VLIWInstr
+
+    obs.count("sched.instrs", program.instruction_count)
+    moves = bypass = rf_writes = longimm = ops = nops = 0
+    for instr in program.instrs:
+        if isinstance(instr, TTAInstr):
+            moves += len(instr.moves)
+            used = len(instr.moves)
+            for move in instr.moves:
+                used += move.extra_slots
+                longimm += move.extra_slots
+                if move.src[0] == "fu" and move.dst[0] == "op":
+                    bypass += 1
+                if move.dst[0] == "rf":
+                    rf_writes += 1
+            nops += len(machine.buses) - used
+        elif isinstance(instr, VLIWInstr):
+            ops += len(instr.ops)
+            nops += machine.issue_width - len(instr.ops)
+        else:
+            ops += 1
+    if moves:
+        obs.count("sched.moves", moves)
+        obs.count("sched.bypass_moves", bypass)
+        obs.count("sched.rf_write_moves", rf_writes)
+        obs.count("sched.longimm_slots", longimm)
+    if ops:
+        obs.count("sched.ops", ops)
+    obs.count("sched.nop_slots", nops)
+
+
 def compile_for_machine(module: Module, machine: Machine) -> CompiledProgram:
     """Compile an (optimised, verified) IR module for *machine*."""
     module.verify()
@@ -67,9 +116,12 @@ def compile_for_machine(module: Module, machine: Machine) -> CompiledProgram:
 
     mfuncs: dict[str, MFunction] = {"_start": _build_start(machine, module.entry)}
     for name, function in module.functions.items():
-        mfunc = lower_function(function, machine, symbols)
-        allocate_registers(mfunc, machine)
-        finalize_function(mfunc, machine)
+        with obs.span("backend.lower", function=name):
+            mfunc = lower_function(function, machine, symbols)
+        with obs.span("backend.regalloc", function=name):
+            allocate_registers(mfunc, machine)
+        with obs.span("backend.finalize", function=name):
+            finalize_function(mfunc, machine)
         mfuncs[name] = mfunc
     finalize_function(mfuncs["_start"], machine, synthetic=True)
 
@@ -78,9 +130,11 @@ def compile_for_machine(module: Module, machine: Machine) -> CompiledProgram:
     extra_imm_words = 0
     for name, mfunc in mfuncs.items():
         if machine.style is MachineStyle.TTA:
-            scheduled = schedule_tta_function(mfunc, machine)
+            with obs.span("backend.schedule_tta", function=name):
+                scheduled = schedule_tta_function(mfunc, machine)
         elif machine.style is MachineStyle.VLIW:
-            scheduled = schedule_vliw_function(mfunc, machine)
+            with obs.span("backend.schedule_vliw", function=name):
+                scheduled = schedule_vliw_function(mfunc, machine)
         else:
             scheduled = _schedule_scalar(mfunc)
             extra_imm_words += sum(
@@ -89,8 +143,11 @@ def compile_for_machine(module: Module, machine: Machine) -> CompiledProgram:
         aliases[name] = scheduled[0].label
         blocks.extend(scheduled)
 
-    program = link_blocks(machine, machine.style.value, blocks, aliases)
+    with obs.span("backend.link"):
+        program = link_blocks(machine, machine.style.value, blocks, aliases)
     program.extra_imm_words = extra_imm_words
+    if obs.enabled():
+        _record_schedule_counters(machine, program)
 
     data_init = [
         (symbols[gname], gvar.init)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.backend.abi import allocatable_regs, caller_saved, scratch_regs, stack_pointer
 from repro.backend.mop import FrameRef, Imm, MBlock, MFunction, MOp, PhysReg
 from repro.ir.instructions import VReg
@@ -268,6 +269,9 @@ def allocate_registers(mfunc: MFunction, machine: Machine) -> None:
 
     assignment = {iv.vreg: iv.reg for iv in intervals if iv.reg is not None}
     spill_set = {iv.vreg for iv in spilled}
+    if obs.enabled():
+        obs.count("regalloc.intervals", len(intervals))
+        obs.count("regalloc.spills", len(spilled))
     _rewrite(mfunc, machine, assignment, spill_set)
     mfunc.used_regs = {
         op.dest for op in mfunc.all_ops() if isinstance(op.dest, PhysReg)

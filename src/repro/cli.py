@@ -4,13 +4,18 @@ Commands:
 
 * ``machines`` -- list the built-in design points with key facts.
 * ``kernels`` -- list the CHStone-like workloads.
-* ``run FILE.mc -m MACHINE`` -- compile a MiniC file and simulate it.
+* ``run FILE.mc -m MACHINE`` -- compile a MiniC file and simulate it
+  (``--trace out.json`` records a compile+sim timeline).
 * ``asm FILE.mc -m MACHINE`` -- print the scheduled assembly listing.
 * ``report [--kernels a,b,..] [--machines a,b,..]`` -- regenerate the
   paper's tables/figures (optionally on a subset).
 * ``sweep`` -- run the (machine, kernel) evaluation matrix through the
   parallel, disk-cached pipeline (``--jobs``, ``--machines``,
-  ``--kernels``, ``--no-cache``, ``--refresh``, ``--json``).
+  ``--kernels``, ``--no-cache``, ``--refresh``, ``--json``;
+  ``--trace out.json`` merges every worker's span/counter payload into
+  one Chrome-trace timeline and implies ``--refresh``).
+* ``trace summary FILE.json`` -- aggregate statistics of a trace file
+  written by ``--trace``.
 * ``fuzz`` -- differential fuzzing: generate seeded random kernels and
   co-simulate them on every design point and engine mode against the
   reference-interpreter oracle; divergences are auto-minimized into
@@ -82,9 +87,32 @@ def _load_module(path: str):
         return None
 
 
-def _cmd_run(args) -> int:
-    from repro.machine.machine import MachineStyle
+def _write_trace_file(path: str, payloads: list[dict]) -> int:
+    """Merge *payloads* into one Chrome-trace document at *path*.
 
+    Returns 0 on success, 2 (with a stderr message) when the destination
+    is unwritable — a user mistake, not a crash.
+    """
+    from repro.obs import to_chrome_trace, write_trace
+
+    doc = to_chrome_trace(payloads)
+    try:
+        out = write_trace(path, doc)
+    except OSError as exc:
+        print(
+            f"error: cannot write trace to {path}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"trace: {len(payloads)} payload(s), {len(doc['traceEvents'])} "
+        f"events -> {out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
     # --verify *is* the checked reference engine with full move routing;
     # combining it with an explicitly requested fast/turbo engine is a
     # contradiction, so reject it instead of silently overriding.
@@ -105,6 +133,24 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if not args.trace:
+        return _run_and_report(args, mode)
+    from repro import obs
+
+    with obs.tracing(
+        obs.Tracer(process=f"repro run {args.machine} {Path(args.file).name}")
+    ) as tracer:
+        status = _run_and_report(args, mode)
+    if status == 2:  # nothing was measured; don't write an empty timeline
+        return status
+    write_status = _write_trace_file(args.trace, [tracer.to_payload()])
+    return write_status or status
+
+
+def _run_and_report(args, mode: str) -> int:
+    """The measured portion of ``repro run`` (traced when ``--trace``)."""
+    from repro.machine.machine import MachineStyle
+
     module = _load_module(args.file)
     if module is None:
         return 2
@@ -221,17 +267,38 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
 
-    outcome = sweep(
-        machines=machines,
-        kernels=kernels,
-        mode=args.mode,
-        jobs=args.jobs,
-        retries=args.retries,
-        store=store,
-        use_cache=not args.no_cache,
-        refresh=args.refresh,
-        progress=_progress,
-    )
+    tracer = None
+    if args.trace:
+        from repro import obs
+
+        # --trace implies --refresh: cache hits compute nothing and thus
+        # contribute no worker payload, so a warm-cache trace would be an
+        # empty (misleading) timeline.
+        tracer = obs.enable(obs.Tracer(process="sweep driver"))
+    try:
+        outcome = sweep(
+            machines=machines,
+            kernels=kernels,
+            mode=args.mode,
+            jobs=args.jobs,
+            retries=args.retries,
+            store=store,
+            use_cache=not args.no_cache,
+            refresh=args.refresh or tracer is not None,
+            progress=_progress,
+            trace=tracer is not None,
+        )
+    finally:
+        if tracer is not None:
+            from repro import obs
+
+            obs.disable()
+    if tracer is not None:
+        write_status = _write_trace_file(
+            args.trace, [tracer.to_payload(), *outcome.traces]
+        )
+        if write_status:
+            return write_status
     stats = outcome.stats
     print(
         f"swept {stats.total} pairs in {stats.elapsed_s:.2f}s "
@@ -367,6 +434,33 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace_summary(args) -> int:
+    """Aggregate statistics of a trace file written by ``--trace``.
+
+    Unreadable paths and non-trace files are user mistakes (exit 2 with
+    a stderr message), mirroring :func:`_load_module`.
+    """
+    from repro.obs import format_summary, load_trace, summarize
+
+    try:
+        doc = load_trace(args.file)
+    except OSError as exc:
+        print(
+            f"error: cannot read {args.file}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.file}: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize(doc)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary, top=args.top))
+    return 0
+
+
 def _cmd_synth(args) -> int:
     machine = build_machine(args.machine)
     report = synthesize(machine)
@@ -415,6 +509,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-block execution counts and the trigger histogram "
         "after the run (fast/turbo engines on TTA/VLIW cores)",
+    )
+    p_run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a compile+simulate timeline (spans + counters) as a "
+        "Chrome-trace JSON file; inspect with 'repro trace summary FILE' "
+        "or chrome://tracing",
     )
     p_run.set_defaults(fn=_cmd_run)
 
@@ -470,6 +572,15 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None,
         help="artifact store location (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/artifacts)",
+    )
+    p_sweep.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="merge every worker's span/counter payload plus the driver's "
+        "own phases into one Chrome-trace JSON timeline (implies "
+        "--refresh: cache hits compute nothing and would leave an empty "
+        "timeline)",
     )
     p_sweep.add_argument("--json", action="store_true", help="JSON results on stdout")
     p_sweep.add_argument("-q", "--quiet", action="store_true",
@@ -532,6 +643,23 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-case progress on stderr")
     p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect trace files written by --trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summary",
+        help="aggregate span timings, counters and gauges of a trace file",
+    )
+    p_tsum.add_argument("file", help="trace JSON written by run/sweep --trace")
+    p_tsum.add_argument(
+        "--top", type=int, default=20,
+        help="how many span rows to show (by total time; default 20)",
+    )
+    p_tsum.add_argument("--json", action="store_true",
+                        help="machine-readable summary on stdout")
+    p_tsum.set_defaults(fn=_cmd_trace_summary)
 
     p_syn = sub.add_parser("synth", help="analytic synthesis report")
     p_syn.add_argument("machine", choices=preset_names())

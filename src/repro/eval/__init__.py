@@ -11,7 +11,7 @@ caches it; the table/figure functions are pure formatting on top.
 """
 
 from repro.eval.runner import EvalResult, run_sweep, sweep_cache_clear
-from repro.eval.tables import table2, table3, table4
+from repro.eval.tables import table2, table3, table4, traffic_table
 from repro.eval.figures import figure5, figure6
 from repro.eval.report import format_table, render_all
 
@@ -26,4 +26,5 @@ __all__ = [
     "table2",
     "table3",
     "table4",
+    "traffic_table",
 ]

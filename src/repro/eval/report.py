@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.eval.figures import figure5, figure6
-from repro.eval.tables import table2, table3, table4
+from repro.eval.tables import table2, table3, table4, traffic_table
 
 
 def format_table(rows: list[dict], title: str = "") -> str:
@@ -47,6 +47,11 @@ def render_all(
         format_table(table3(machines), "Table III: FPGA resources and fmax"),
         "",
         format_table(table4(kernels, machines), "Table IV: cycle counts"),
+        "",
+        format_table(
+            traffic_table(kernels, machines),
+            "Transport and RF traffic (simulator counters, summed over kernels)",
+        ),
         "",
         "Figure 5: relative runtimes (cycles/fmax, normalised per panel)",
     ]

@@ -110,6 +110,60 @@ def table3(machines: tuple[str, ...] | None = None) -> list[dict]:
     return rows
 
 
+#: the ``EvalResult.extras`` counters the traffic table surfaces, in
+#: presentation order (absent counters render blank — e.g. VLIW rows have
+#: no transport moves, scalar rows no issued ops)
+TRAFFIC_COLUMNS = (
+    "moves",
+    "triggers",
+    "rf_reads",
+    "rf_writes",
+    "bypass_reads",
+    "ops",
+    "instructions",
+)
+
+
+def traffic_table(
+    kernels: tuple[str, ...] = KERNELS,
+    machines: tuple[str, ...] | None = None,
+) -> list[dict]:
+    """Transport and RF traffic per design point, summed over *kernels*.
+
+    Surfaces the architectural counters the simulators fold into
+    :attr:`~repro.pipeline.types.EvalResult.extras`: TTA rows report
+    moves/triggers and the RF-read traffic split into port reads versus
+    bypassed (operand-network) reads — ``bypass_pct`` is the share of
+    operand reads the transport network served without touching an RF
+    read port, the effect the paper's TTA design points exist to
+    exploit.  VLIW rows report issued ops, scalar rows instruction
+    counts.  Counters absent for a style render blank.
+    """
+    groups, sweep_machines = subset_groups(machines)
+    sweep = run_sweep(machines=sweep_machines, kernels=kernels)
+    rows: list[dict] = []
+    for _baseline, members in groups:
+        for name in members:
+            totals: dict[str, int] = {}
+            cycles = 0
+            for kernel in kernels:
+                result = sweep[(name, kernel)]
+                cycles += result.cycles
+                for key, value in result.extras.items():
+                    totals[key] = totals.get(key, 0) + value
+            row: dict = {"machine": name, "cycles": cycles}
+            for column in TRAFFIC_COLUMNS:
+                row[column] = totals.get(column, "")
+            reads = totals.get("rf_reads", 0) + totals.get("bypass_reads", 0)
+            row["bypass_pct"] = (
+                round(100.0 * totals["bypass_reads"] / reads, 1)
+                if totals.get("bypass_reads") and reads
+                else ""
+            )
+            rows.append(row)
+    return rows
+
+
 def table4(
     kernels: tuple[str, ...] = KERNELS,
     machines: tuple[str, ...] | None = None,

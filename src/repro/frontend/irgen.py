@@ -755,12 +755,18 @@ def compile_source(
     pipeline (:mod:`repro.ir.passes`) is run, including whole-program
     unreachable-function pruning.
     """
+    from repro import obs
+
     full = (RUNTIME_SOURCE + "\n" + source) if with_runtime else source
-    unit = parse(full)
-    info = analyze(unit)
-    module = generate_ir(info, module_name)
+    with obs.span("frontend.parse", module=module_name):
+        unit = parse(full)
+    with obs.span("frontend.sema", module=module_name):
+        info = analyze(unit)
+    with obs.span("frontend.irgen", module=module_name):
+        module = generate_ir(info, module_name)
     if optimize:
         from repro.ir.passes import optimize_module
 
-        optimize_module(module)
+        with obs.span("ir.optimize", module=module_name):
+            optimize_module(module)
     return module

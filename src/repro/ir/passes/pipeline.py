@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.passes.dce import dead_code_elim
@@ -12,17 +13,34 @@ from repro.ir.passes.simplifycfg import simplify_cfg
 #: Safety bound on fixpoint iteration.
 _MAX_ROUNDS = 8
 
+#: the per-function pass pipeline, in application order
+_PASSES = (
+    ("simplify_cfg", simplify_cfg),
+    ("const_fold", const_fold),
+    ("copy_prop", copy_prop),
+    ("strength_reduce", strength_reduce),
+    ("local_cse", local_cse),
+    ("dce", dead_code_elim),
+)
+
 
 def optimize_function(function: Function) -> None:
-    """Run the per-function pass pipeline to a fixpoint."""
+    """Run the per-function pass pipeline to a fixpoint.
+
+    When tracing is enabled each pass application gets its own span
+    (``ir.pass.<name>``) and a ``ir.pass.<name>.changed`` counter, so a
+    compile trace shows exactly where optimisation time goes and which
+    passes still find work in late rounds.
+    """
     for _ in range(_MAX_ROUNDS):
         changed = False
-        changed |= simplify_cfg(function)
-        changed |= const_fold(function)
-        changed |= copy_prop(function)
-        changed |= strength_reduce(function)
-        changed |= local_cse(function)
-        changed |= dead_code_elim(function)
+        for name, pass_fn in _PASSES:
+            with obs.span(f"ir.pass.{name}", function=function.name):
+                pass_changed = pass_fn(function)
+            if pass_changed:
+                obs.count(f"ir.pass.{name}.changed")
+            changed |= pass_changed
+        obs.count("ir.rounds")
         if not changed:
             break
     function.verify()
@@ -30,7 +48,8 @@ def optimize_function(function: Function) -> None:
 
 def optimize_module(module: Module) -> None:
     """Optimise every function and prune unreachable ones."""
-    prune_unreachable_functions(module)
+    with obs.span("ir.pass.prune_unreachable"):
+        prune_unreachable_functions(module)
     for function in module.functions.values():
         optimize_function(function)
     module.verify()

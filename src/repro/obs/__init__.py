@@ -1,0 +1,55 @@
+"""Observability: structured tracing + metrics for the whole stack.
+
+``repro.obs`` provides a process-local :class:`Tracer` with nestable
+spans and typed counters/gauges, module-level no-op fast paths so the
+instrumentation costs (almost) nothing when disabled, Chrome-trace and
+flat-JSON exporters, and cross-process payload aggregation used by the
+sweep pipeline (`repro sweep --trace`).
+
+See :mod:`repro.obs.tracer` for the design notes and
+``README.md#observability`` for the user-facing walkthrough.
+"""
+
+from repro.obs.export import (
+    TRACE_DOC_SCHEMA,
+    format_summary,
+    load_trace,
+    merge_payloads,
+    summarize,
+    to_chrome_trace,
+    write_trace,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    PAYLOAD_SCHEMA,
+    Tracer,
+    count,
+    current,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "PAYLOAD_SCHEMA",
+    "TRACE_DOC_SCHEMA",
+    "Tracer",
+    "count",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "format_summary",
+    "gauge",
+    "load_trace",
+    "merge_payloads",
+    "span",
+    "summarize",
+    "to_chrome_trace",
+    "tracing",
+    "write_trace",
+]

@@ -1,0 +1,253 @@
+"""Process-local structured tracing and metrics.
+
+The whole toolchain — frontend, IR passes, scheduler, register
+allocator, linker, all three simulation engines and the sweep pipeline —
+is instrumented with *spans* (named, nestable wall-clock intervals) and
+*typed counters/gauges* (moves scheduled, spilled intervals, predecode
+cache hits, instructions retired, RF traffic, ...).
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Tracing is off by default.
+   The module-level helpers :func:`span`, :func:`count` and
+   :func:`gauge` read one module global; when no tracer is installed
+   they return a shared no-op context manager / return immediately.
+   Nothing is ever placed inside a per-cycle simulator loop — simulator
+   counters are derived from the statistics the engines already
+   maintain, *after* the run — so enabling tracing cannot perturb the
+   measured cycle counts either (``benchmarks/bench_sim_throughput.py``
+   asserts both properties).
+
+2. **Deterministic measurement.**  Tracing is purely additive: it never
+   changes control flow, and every architectural statistic is
+   byte-identical with tracing enabled, disabled, or in checked mode
+   (``tests/test_obs.py``).
+
+3. **Cross-process aggregation.**  A :class:`Tracer` serialises to a
+   plain-dict *payload* (:meth:`Tracer.to_payload`).  Pipeline workers
+   ship their payloads back with each task outcome and
+   :func:`repro.obs.export.merge_payloads` assembles one merged
+   Chrome-trace timeline (absolute wall-clock alignment via each
+   payload's epoch origin).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        ...  # compile, simulate
+    doc = obs.to_chrome_trace([tracer.to_payload()])
+
+Library code adds instrumentation points like::
+
+    with obs.span("backend.regalloc", function=name):
+        allocate_registers(...)
+    obs.count("regalloc.spills", len(spilled))
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+#: bump when the payload layout changes
+PAYLOAD_SCHEMA = 1
+
+# ---------------------------------------------------------------------------
+# module-level fast path
+# ---------------------------------------------------------------------------
+
+#: the installed tracer, or ``None`` (tracing disabled).  Read directly by
+#: the hot helpers below; process-local by construction (workers install
+#: their own tracer).
+_ACTIVE: "Tracer | None" = None
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in returned by :func:`span` when tracing
+    is disabled.  Identity-comparable so tests can verify the fast path
+    structurally instead of by timing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: the singleton no-op span (``obs.span(...) is obs.NOOP_SPAN`` iff disabled)
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named region (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def count(name: str, value: int = 1) -> None:
+    """Add *value* to counter *name* (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge *name* to *value* (last write wins; no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.gauge(name, value)
+
+
+def enabled() -> bool:
+    """Is a tracer currently installed in this process?"""
+    return _ACTIVE is not None
+
+
+def current() -> "Tracer | None":
+    """The installed tracer, or ``None``."""
+    return _ACTIVE
+
+
+def enable(tracer: "Tracer | None" = None) -> "Tracer":
+    """Install *tracer* (or a fresh one) as the process tracer.
+
+    Raises ``RuntimeError`` if one is already installed: nested
+    enablement would silently interleave two owners' spans.  Use one
+    :func:`tracing` block per measured region instead.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a tracer is already enabled in this process")
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def disable() -> "Tracer | None":
+    """Uninstall and return the process tracer (``None`` if not enabled)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: "Tracer | None" = None):
+    """``with obs.tracing() as tracer:`` — enable for the block's duration."""
+    installed = enable(tracer)
+    try:
+        yield installed
+    finally:
+        disable()
+
+
+# ---------------------------------------------------------------------------
+# the tracer proper
+# ---------------------------------------------------------------------------
+
+
+class _Span:
+    """One live span; records itself on the owning tracer at exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.depth = tracer._depth
+        tracer._depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        tracer._depth -= 1
+        tracer.spans.append(
+            {
+                "name": self.name,
+                # microseconds relative to the tracer origin
+                "ts": round((self._start - tracer._origin) * 1e6, 1),
+                "dur": round((end - self._start) * 1e6, 1),
+                "depth": self.depth,
+                **({"args": self.attrs} if self.attrs else {}),
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans, counters and gauges for one process/region.
+
+    Attributes:
+        process: display name of the producing context (merged timelines
+            use it as the Chrome-trace process name).
+        spans: completed spans, in *completion* order (nested spans
+            finish before their parents; depth + timestamps encode the
+            hierarchy).
+        counters: name -> accumulated integer value.
+        gauges: name -> last written value.
+    """
+
+    def __init__(self, process: str | None = None):
+        self.process = process or f"pid-{os.getpid()}"
+        self.spans: list[dict] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self._depth = 0
+        self._origin = time.perf_counter()
+        #: wall-clock instant of the origin, for cross-process alignment
+        self._origin_epoch_us = time.time() * 1e6 - self._origin * 1e6
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A plain-dict, JSON/pickle-safe snapshot of everything recorded."""
+        return {
+            "schema": PAYLOAD_SCHEMA,
+            "process": self.process,
+            "origin_epoch_us": round(self._origin_epoch_us, 1),
+            "spans": list(self.spans),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    @staticmethod
+    def validate_payload(payload: dict) -> dict:
+        """Check a payload's shape; returns it or raises ``ValueError``."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"trace payload must be a dict, got {type(payload)!r}")
+        if payload.get("schema") != PAYLOAD_SCHEMA:
+            raise ValueError(
+                f"trace payload schema mismatch: "
+                f"{payload.get('schema')!r} != {PAYLOAD_SCHEMA}"
+            )
+        for key, kind in (
+            ("spans", list),
+            ("counters", dict),
+            ("gauges", dict),
+        ):
+            if not isinstance(payload.get(key), kind):
+                raise ValueError(f"trace payload field {key!r} malformed")
+        return payload

@@ -24,7 +24,12 @@ Quickstart::
         print(m, k, r.cycles)
 """
 
-from repro.pipeline.executor import execute_task, run_tasks
+from repro.pipeline.executor import (
+    TracedOutcome,
+    execute_task,
+    result_extras,
+    run_tasks,
+)
 from repro.pipeline.fingerprint import (
     describe_machine,
     fingerprint,
@@ -58,6 +63,7 @@ __all__ = [
     "SweepStats",
     "SweepTask",
     "TaskError",
+    "TracedOutcome",
     "build_tasks",
     "compile_cached",
     "default_cache_dir",
@@ -66,6 +72,7 @@ __all__ = [
     "execute_task",
     "fingerprint",
     "parse_subset",
+    "result_extras",
     "run_tasks",
     "sweep",
     "task_fingerprint",

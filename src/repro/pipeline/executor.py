@@ -27,16 +27,33 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import traceback
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
+from repro import obs
 from repro.pipeline.types import EvalResult, SweepTask, TaskError
+from repro.sim.counters import STAT_FIELDS
 
 #: callback signature: (done_count, total, task, outcome)
 ProgressFn = Callable[[int, int, SweepTask, "EvalResult | TaskError"], None]
 
 #: worker signature: one task in, one picklable outcome out (raises on failure)
 WorkerFn = Callable[[SweepTask], object]
+
+
+@dataclass(frozen=True)
+class TracedOutcome:
+    """One task's result plus the tracer payload the worker recorded.
+
+    ``run_tasks(..., trace=True)`` yields these instead of bare
+    outcomes; the payload crosses the process boundary as a plain dict
+    (JSON/pickle-safe) alongside the outcome it explains.
+    """
+
+    outcome: object
+    trace: dict | None
 
 
 def execute_task(task: SweepTask) -> EvalResult:
@@ -73,28 +90,69 @@ def execute_task(task: SweepTask) -> EvalResult:
         instruction_count=compiled.instruction_count,
         instruction_width=encoding.instruction_width,
         fmax_mhz=report.fmax_mhz,
+        extras=result_extras(result),
     )
 
 
-def _attempt(worker: WorkerFn, indexed: tuple[int, SweepTask]) -> tuple[int, object]:
+def result_extras(result) -> dict[str, int]:
+    """Style-specific simulator counters folded into ``EvalResult.extras``.
+
+    Deterministic across engines and runs (the differential tests pin
+    every statistic byte-identical between checked/fast/turbo), hence
+    safe to cache.
+    """
+    return {
+        name: getattr(result, name)
+        for name in STAT_FIELDS
+        if getattr(result, name, None) is not None
+    }
+
+
+def _attempt(
+    worker: WorkerFn, trace: bool, indexed: tuple[int, SweepTask]
+) -> tuple[int, object]:
     """Pool worker: never raises; failures come back as TaskError.
 
     Returns plain dataclasses (no Machine/Program objects) so the
     pickled payload crossing the process boundary stays tiny.  *worker*
     must be a module-level callable (the pool pickles it via
     ``functools.partial``).
+
+    With ``trace=True`` the task runs under its own fresh tracer (any
+    inherited/ambient tracer is parked for the duration, so serial and
+    forked execution behave identically) and the return value is a
+    :class:`TracedOutcome` carrying the span/counter payload.
     """
     index, task = indexed
+    if not trace:
+        try:
+            return index, worker(task)
+        except BaseException as exc:  # noqa: BLE001 - isolation is the point
+            return index, _task_error(task, exc)
+    ambient = obs.disable()
+    tracer = obs.enable(
+        obs.Tracer(process=f"worker pid={os.getpid()} {task.machine}/{task.kernel}")
+    )
     try:
-        return index, worker(task)
+        with tracer.span("task.execute", machine=task.machine, kernel=task.kernel):
+            outcome: object = worker(task)
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
-        return index, TaskError(
-            machine=task.machine,
-            kernel=task.kernel,
-            error_type=type(exc).__name__,
-            message=str(exc),
-            traceback=traceback.format_exc(),
-        )
+        outcome = _task_error(task, exc)
+    finally:
+        obs.disable()
+        if ambient is not None:
+            obs.enable(ambient)
+    return index, TracedOutcome(outcome, tracer.to_payload())
+
+
+def _task_error(task: SweepTask, exc: BaseException) -> TaskError:
+    return TaskError(
+        machine=task.machine,
+        kernel=task.kernel,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback=traceback.format_exc(),
+    )
 
 
 def _pool_context():
@@ -108,7 +166,8 @@ def run_tasks(
     retries: int = 1,
     progress: ProgressFn | None = None,
     worker: WorkerFn = execute_task,
-) -> list[EvalResult | TaskError]:
+    trace: bool = False,
+) -> list[EvalResult | TaskError | TracedOutcome]:
     """Execute *tasks*, serially (``jobs<=1``) or over a process pool.
 
     Returns one outcome per task, **in task order**.  ``retries`` bounds
@@ -117,16 +176,25 @@ def run_tasks(
     per-task measurement function; the default is the sweep pipeline's
     :func:`execute_task`, and it must be a module-level callable so the
     pool can pickle it.
+
+    With ``trace=True`` every element of the returned list is a
+    :class:`TracedOutcome` whose ``trace`` field carries the worker's
+    span/counter payload (the payload of the *successful or final*
+    attempt).  Progress callbacks always receive the bare outcome.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     outcomes: list[EvalResult | TaskError | None] = [None] * len(tasks)
+    traces: list[dict | None] = [None] * len(tasks)
     attempts = [0] * len(tasks)
     pending = list(enumerate(tasks))
     done = 0
     while pending:
         next_pending: list[tuple[int, SweepTask]] = []
-        for index, outcome in _iter_round(pending, jobs, worker):
+        for index, outcome in _iter_round(pending, jobs, worker, trace):
+            if isinstance(outcome, TracedOutcome):
+                traces[index] = outcome.trace
+                outcome = outcome.outcome
             attempts[index] += 1
             if isinstance(outcome, TaskError):
                 if attempts[index] <= retries:
@@ -146,12 +214,22 @@ def run_tasks(
                 progress(done, len(tasks), tasks[index], outcome)
         pending = next_pending
     assert all(o is not None for o in outcomes)
+    if trace:
+        return [
+            TracedOutcome(outcome, payload)
+            for outcome, payload in zip(outcomes, traces)
+        ]
     return outcomes  # type: ignore[return-value]
 
 
-def _iter_round(pending: list[tuple[int, SweepTask]], jobs: int, worker: WorkerFn):
+def _iter_round(
+    pending: list[tuple[int, SweepTask]],
+    jobs: int,
+    worker: WorkerFn,
+    trace: bool = False,
+):
     """Yield ``(index, outcome)`` as each pending task completes."""
-    attempt = functools.partial(_attempt, worker)
+    attempt = functools.partial(_attempt, worker, trace)
     if jobs <= 1 or len(pending) <= 1:
         for item in pending:
             yield attempt(item)

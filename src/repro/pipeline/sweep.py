@@ -23,7 +23,8 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable
 
-from repro.pipeline.executor import ProgressFn, run_tasks
+from repro import obs
+from repro.pipeline.executor import ProgressFn, TracedOutcome, run_tasks
 from repro.pipeline.fingerprint import task_fingerprint
 from repro.pipeline.store import ArtifactStore, default_store
 from repro.pipeline.types import (
@@ -116,6 +117,7 @@ def sweep(
     use_cache: bool = True,
     refresh: bool = False,
     progress: ProgressFn | None = None,
+    trace: bool = False,
 ) -> SweepOutcome:
     """Evaluate the (machine, kernel) matrix; see the module docstring.
 
@@ -123,11 +125,19 @@ def sweep(
     ``$REPRO_CACHE_DIR`` / ``$REPRO_NO_CACHE``); ``use_cache=False``
     neither reads nor writes it; ``refresh=True`` recomputes every pair
     and overwrites its cache entry.
+
+    ``trace=True`` runs every computed pair under its own worker tracer
+    and collects the span/counter payloads into ``outcome.traces``
+    (cache hits compute nothing, so they contribute no payload — pass
+    ``refresh=True`` for a full timeline).  When a tracer is enabled in
+    the *calling* process, the sweep's own phases (fingerprinting/cache
+    lookup, fan-out, writeback) are spanned there as well.
     """
     started = time.perf_counter()
-    tasks = build_tasks(
-        machines, kernels, sources=sources, mode=mode, optimize=optimize
-    )
+    with obs.span("sweep.plan"):
+        tasks = build_tasks(
+            machines, kernels, sources=sources, mode=mode, optimize=optimize
+        )
     outcome = SweepOutcome()
     outcome.stats.total = len(tasks)
 
@@ -138,15 +148,16 @@ def sweep(
     keys: dict[tuple[str, str], str] = {}
     misses: list[SweepTask] = []
     cached: dict[tuple[str, str], EvalResult] = {}
-    for task in tasks:
-        key = task_fingerprint(task) if active_store is not None else ""
-        keys[task.pair] = key
-        if active_store is not None and not refresh:
-            hit = active_store.load_result(key)
-            if hit is not None:
-                cached[task.pair] = hit
-                continue
-        misses.append(task)
+    with obs.span("sweep.cache_lookup", pairs=len(tasks)):
+        for task in tasks:
+            key = task_fingerprint(task) if active_store is not None else ""
+            keys[task.pair] = key
+            if active_store is not None and not refresh:
+                hit = active_store.load_result(key)
+                if hit is not None:
+                    cached[task.pair] = hit
+                    continue
+            misses.append(task)
 
     fresh: dict[tuple[str, str], EvalResult | TaskError] = {}
     if misses:
@@ -158,12 +169,19 @@ def sweep(
             if progress:
                 progress(base_done + done, len(tasks), task, result)
 
-        for task, result in zip(
-            misses, run_tasks(misses, jobs=jobs, retries=retries, progress=_progress)
-        ):
+        with obs.span("sweep.execute", pairs=len(misses), jobs=jobs):
+            executed = run_tasks(
+                misses, jobs=jobs, retries=retries, progress=_progress, trace=trace
+            )
+        for task, result in zip(misses, executed):
+            if isinstance(result, TracedOutcome):
+                if result.trace is not None:
+                    outcome.traces.append(result.trace)
+                result = result.outcome
             fresh[task.pair] = result
             if isinstance(result, EvalResult) and active_store is not None:
-                active_store.store_result(keys[task.pair], result)
+                with obs.span("sweep.writeback"):
+                    active_store.store_result(keys[task.pair], result)
     if progress and not misses:
         # fully warm sweep: still announce completion once per pair
         for i, task in enumerate(tasks, 1):
@@ -184,6 +202,11 @@ def sweep(
                 outcome.results[pair] = result
                 outcome.stats.computed += 1
     outcome.stats.elapsed_s = time.perf_counter() - started
+    if obs.enabled():
+        obs.count("sweep.pairs", outcome.stats.total)
+        obs.count("sweep.cache_hits", outcome.stats.cache_hits)
+        obs.count("sweep.computed", outcome.stats.computed)
+        obs.count("sweep.failed", outcome.stats.failed)
     return outcome
 
 

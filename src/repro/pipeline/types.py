@@ -19,12 +19,23 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 
 #: bump when the on-disk ``EvalResult`` JSON layout changes
-RESULT_SCHEMA = 1
+#: (2: added the ``extras`` counter dict — RF traffic, transport stats)
+RESULT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
 class EvalResult:
-    """One (machine, kernel) measurement."""
+    """One (machine, kernel) measurement.
+
+    ``extras`` carries the style-specific architectural counters the
+    simulator already computes (TTA: ``moves``/``triggers``/
+    ``rf_reads``/``rf_writes``/``bypass_reads``; VLIW: ``bundles``/
+    ``ops``; scalar: ``instructions``/``loads``/``stores``/...), so the
+    evaluation layer can report RF-traffic-style statistics alongside
+    cycle counts.  The counters are deterministic functions of the
+    (machine, kernel, toolchain) content — identical across engines and
+    cache states — so they are safe to persist in the artifact store.
+    """
 
     machine: str
     kernel: str
@@ -33,6 +44,7 @@ class EvalResult:
     instruction_count: int
     instruction_width: int
     fmax_mhz: float
+    extras: dict = field(default_factory=dict)
 
     @property
     def program_bits(self) -> int:
@@ -53,6 +65,9 @@ class EvalResult:
             raise ValueError(
                 f"EvalResult schema mismatch: {payload.get('schema')!r} != {RESULT_SCHEMA}"
             )
+        extras = payload.get("extras", {})
+        if not isinstance(extras, dict):
+            raise ValueError(f"EvalResult extras must be a dict, got {extras!r}")
         return cls(
             machine=str(payload["machine"]),
             kernel=str(payload["kernel"]),
@@ -61,6 +76,7 @@ class EvalResult:
             instruction_count=int(payload["instruction_count"]),
             instruction_width=int(payload["instruction_width"]),
             fmax_mhz=float(payload["fmax_mhz"]),
+            extras={str(k): int(v) for k, v in extras.items()},
         )
 
 
@@ -134,6 +150,11 @@ class SweepOutcome:
     results: dict[tuple[str, str], EvalResult] = field(default_factory=dict)
     errors: dict[tuple[str, str], TaskError] = field(default_factory=dict)
     stats: SweepStats = field(default_factory=SweepStats)
+    #: tracer payloads shipped back from the workers (one per computed
+    #: pair) when the sweep ran with ``trace=True``; merge with
+    #: :func:`repro.obs.to_chrome_trace`.  Deliberately excluded from
+    #: :meth:`to_dict` — trace timelines go to their own file.
+    traces: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from heapq import heappop as _heappop
 
+from repro import obs
 from repro.backend.abi import return_value_reg
 from repro.backend.program import Program
 from repro.isa.operations import OPS, OpKind
@@ -669,8 +670,12 @@ def run_tta_turbo(sim):
         if entry is _ABSENT:
             entry = _compile_tta_block(program, pc, decoded, rf_param, fu_param)
             code_cache[pc] = entry
+            obs.count("sim.turbo.blocks_compiled")
+        else:
+            obs.count("sim.turbo.block_cache_hits")
         if entry is None:
             bound_blocks[pc] = None
+            obs.count("sim.turbo.fallback_blocks")
             return None
         length, _halts, _source, code = entry
         counter = [0]
@@ -821,8 +826,12 @@ def run_vliw_turbo(sim):
         if entry is _ABSENT:
             entry = _compile_vliw_block(program, pc, decoded, rf_param, maxlat)
             code_cache[pc] = entry
+            obs.count("sim.turbo.blocks_compiled")
+        else:
+            obs.count("sim.turbo.block_cache_hits")
         if entry is None:
             bound_blocks[pc] = None
+            obs.count("sim.turbo.fallback_blocks")
             return None
         length, _halts, _source, code = entry
         counter = [0]

@@ -1,0 +1,47 @@
+"""Post-run observability counters shared by the simulation engines.
+
+The engines never touch the tracer from inside their per-cycle loops —
+that would perturb exactly the numbers the tracer exists to explain.
+Instead each simulator's ``run()`` records, once per completed run, the
+architectural statistics it already computed: cycles and instructions
+retired, transport traffic (moves/triggers/bypassed reads), register
+file traffic, VLIW bundle occupancy, scalar memory traffic.  This is
+what makes "enabled tracing keeps byte-identical statistics" a
+structural property (asserted by ``tests/test_obs.py`` and
+``benchmarks/bench_sim_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+#: per-style statistics folded into ``sim.<field>`` counters when present
+#: (also the whitelist for ``EvalResult.extras`` — see
+#: ``repro.pipeline.executor.result_extras``)
+STAT_FIELDS = (
+    "moves",
+    "triggers",
+    "rf_reads",
+    "rf_writes",
+    "bypass_reads",
+    "bundles",
+    "ops",
+    "instructions",
+    "loads",
+    "stores",
+    "taken_branches",
+)
+
+
+def record_run(result, style: str) -> None:
+    """Fold one simulator result into the active tracer (no-op when
+    tracing is disabled)."""
+    if not obs.enabled():
+        return
+    obs.count("sim.runs")
+    obs.count(f"sim.runs.{style}")
+    obs.count("sim.cycles", result.cycles)
+    for name in STAT_FIELDS:
+        value = getattr(result, name, None)
+        if value is not None:
+            obs.count(f"sim.{name}", value)

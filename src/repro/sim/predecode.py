@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from heapq import heappop as _heappop
 
+from repro import obs
 from repro.backend.abi import return_value_reg
 from repro.backend.mop import Imm, PhysReg
 from repro.backend.program import Program
@@ -178,7 +179,9 @@ def static_decode_tta(program: Program) -> list:
     """
     cached = program.predecode_cache.get(_TTA_KEY)
     if cached is not None:
+        obs.count("sim.predecode.cache_hits")
         return cached
+    obs.count("sim.predecode.cache_misses")
     machine = program.machine
     buses = {bus.index: bus for bus in machine.buses}
     read_limits = {rf.name: rf.read_ports for rf in machine.register_files}
@@ -508,7 +511,9 @@ def static_decode_vliw(program: Program) -> list:
     """
     cached = program.predecode_cache.get(_VLIW_KEY)
     if cached is not None:
+        obs.count("sim.predecode.cache_hits")
         return cached
+    obs.count("sim.predecode.cache_misses")
     machine = program.machine
     issue_width = machine.issue_width
     decoded = []

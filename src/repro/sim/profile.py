@@ -55,6 +55,8 @@ def collect_profile(sim, result) -> SimProfile:
     Raises :class:`ValueError` if *sim* has not run yet or ran with the
     checked engine (which keeps no hit vector).
     """
+    from repro import obs
+
     hits = getattr(sim, "_last_hits", None)
     if hits is None:
         raise ValueError(
@@ -62,6 +64,11 @@ def collect_profile(sim, result) -> SimProfile:
             "mode='turbo' first (the checked engine keeps no hit vector)"
         )
     engine = getattr(sim, "_last_engine", "fast")
+    with obs.span("sim.profile.collect", engine=engine):
+        return _collect(sim, result, hits, engine)
+
+
+def _collect(sim, result, hits, engine) -> SimProfile:
     program = sim.program
     style = program.machine.style
 

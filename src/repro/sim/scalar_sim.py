@@ -57,6 +57,20 @@ class ScalarSimulator:
         raise SimError(f"unresolved operand {src!r}")
 
     def run(self) -> ScalarResult:
+        from repro import obs
+        from repro.sim.counters import record_run
+
+        with obs.span(
+            "sim.run",
+            machine=self.program.machine.name,
+            style="scalar",
+            mode="scalar",
+        ):
+            result = self._run_engine()
+        record_run(result, "scalar")
+        return result
+
+    def _run_engine(self) -> ScalarResult:
         machine = self.program.machine
         timing = machine.scalar_timing
         assert timing is not None

@@ -184,13 +184,25 @@ class TTASimulator:
         return f"{fu}.{port}"
 
     def run(self) -> TTAResult:
-        if self.mode == "fast":
-            return run_tta_fast(self)
-        if self.mode == "turbo":
-            from repro.sim.blockcompile import run_tta_turbo
+        from repro import obs
+        from repro.sim.counters import record_run
 
-            return run_tta_turbo(self)
-        return self._run_checked()
+        with obs.span(
+            "sim.run",
+            machine=self.program.machine.name,
+            style="tta",
+            mode=self.mode,
+        ):
+            if self.mode == "fast":
+                result = run_tta_fast(self)
+            elif self.mode == "turbo":
+                from repro.sim.blockcompile import run_tta_turbo
+
+                result = run_tta_turbo(self)
+            else:
+                result = self._run_checked()
+        record_run(result, "tta")
+        return result
 
     def _run_checked(self) -> TTAResult:
         """Reference implementation: re-verify every structural property on

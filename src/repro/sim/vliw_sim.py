@@ -99,13 +99,25 @@ class VLIWSimulator:
             self.regs[reg] = value
 
     def run(self) -> VLIWResult:
-        if self.mode == "fast":
-            return run_vliw_fast(self)
-        if self.mode == "turbo":
-            from repro.sim.blockcompile import run_vliw_turbo
+        from repro import obs
+        from repro.sim.counters import record_run
 
-            return run_vliw_turbo(self)
-        return self._run_checked()
+        with obs.span(
+            "sim.run",
+            machine=self.program.machine.name,
+            style="vliw",
+            mode=self.mode,
+        ):
+            if self.mode == "fast":
+                result = run_vliw_fast(self)
+            elif self.mode == "turbo":
+                from repro.sim.blockcompile import run_vliw_turbo
+
+                result = run_vliw_turbo(self)
+            else:
+                result = self._run_checked()
+        record_run(result, "vliw")
+        return result
 
     def _run_checked(self) -> VLIWResult:
         """Reference implementation; the pre-decoded fast engine must agree

@@ -50,6 +50,7 @@ def _compile(src, machine_name):
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow  # full kernel x machine differential matrix
 @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
 @pytest.mark.parametrize("kernel", KERNELS)
 def test_kernels_identical_turbo_vs_checked(machine_name, kernel):

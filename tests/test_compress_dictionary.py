@@ -1,0 +1,137 @@
+"""Dictionary-compression tests: losslessness (round-trip through the
+dictionary), size accounting, and degenerate programs.
+
+``test_compress_asm.py`` covers the ratio-level claims; this file pins
+the *mechanics*: the dictionary + index stream must reconstruct the
+exact canonical instruction sequence, and the reported bit totals must
+equal what that dictionary and stream actually cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.compress import compress_program, per_slot_compression
+from repro.compress.dictionary import _bits_for, _instruction_key, _slot_keys
+from repro.machine.encoding import encode_machine
+
+SRC = """
+int mix(int a, int b){ return (a ^ (b << 3)) + (a & b); }
+int main(void){
+    int i; int acc = 1;
+    for (i = 0; i < 9; i++) acc = mix(acc, i) & 0x7FFF;
+    return acc & 0xFF;
+}
+"""
+
+
+@pytest.fixture(scope="module", params=["mblaze-3", "m-vliw-2", "m-tta-2", "m-tta-3"])
+def program(request):
+    compiled = compile_for_machine(compile_source(SRC), build_machine(request.param))
+    return compiled.program
+
+
+def _single_instruction(program):
+    """A one-instruction copy of *program* (same machine/style)."""
+    return dataclasses.replace(
+        program,
+        instrs=program.instrs[:1],
+        labels={},
+        extra_imm_words=0,
+        predecode_cache={},
+    )
+
+
+class TestFullDictionaryRoundTrip:
+    def test_dictionary_and_indices_reconstruct_program(self, program):
+        """Lossless: indexing the dictionary reproduces every instruction's
+        canonical form, in program order (the decompressor's job)."""
+        keys = [_instruction_key(instr) for instr in program.instrs]
+        dictionary = sorted(set(keys), key=repr)
+        index_of = {key: i for i, key in enumerate(dictionary)}
+        stream = [index_of[key] for key in keys]
+        assert [dictionary[i] for i in stream] == keys
+
+    def test_accounting_matches_dictionary_and_stream(self, program):
+        report = compress_program(program)
+        keys = [_instruction_key(instr) for instr in program.instrs]
+        distinct = len(set(keys))
+        width = encode_machine(program.machine).instruction_width
+        assert report.entries == distinct
+        assert report.dictionary_bits == distinct * width
+        assert report.index_bits == _bits_for(distinct) * len(keys)
+        assert report.original_bits == program.instruction_count * width
+        assert report.total_bits == report.index_bits + report.dictionary_bits
+
+    def test_entries_bounded_by_program_length(self, program):
+        report = compress_program(program)
+        assert 1 <= report.entries <= len(program.instrs)
+
+
+class TestPerSlotRoundTrip:
+    def test_each_slot_reconstructs_its_column(self, program):
+        """Per-slot losslessness: every slot's index stream reproduces the
+        slot's canonical content column, including explicit nops."""
+        table = _slot_keys(program)
+        assert all(len(column) == len(program.instrs) for column in table)
+        for column in table:
+            dictionary = sorted(set(column), key=repr)
+            index_of = {key: i for i, key in enumerate(dictionary)}
+            assert [dictionary[index_of[key]] for key in column] == column
+
+    def test_accounting_sums_over_slots(self, program):
+        report = per_slot_compression(program)
+        table = _slot_keys(program)
+        slot_widths = encode_machine(program.machine).slot_widths
+        entries = 0
+        index_bits = 0
+        dictionary_bits = 0
+        for slot, column in enumerate(table):
+            distinct = len(set(column))
+            entries += distinct
+            index_bits += _bits_for(distinct) * len(column)
+            width = slot_widths[slot] if slot < len(slot_widths) else slot_widths[-1]
+            dictionary_bits += distinct * width
+        assert report.entries == entries
+        assert report.index_bits == index_bits
+        assert report.dictionary_bits == dictionary_bits
+
+    def test_per_slot_indices_never_wider_than_full(self, program):
+        """A slot dictionary can never have more entries than the full
+        dictionary has instructions (the regularity the scheme exploits)."""
+        full = compress_program(program)
+        for column in _slot_keys(program):
+            assert len(set(column)) <= max(full.entries, 1) + 1  # +1 for nop
+
+
+class TestDegenerateprograms:
+    def test_single_instruction_full(self, program):
+        tiny = _single_instruction(program)
+        report = compress_program(tiny)
+        width = encode_machine(tiny.machine).instruction_width
+        assert report.entries == 1
+        # a one-entry dictionary still needs a 1-bit index per instruction
+        assert report.index_bits == 1
+        assert report.dictionary_bits == width
+        assert report.original_bits == width
+        # storing the word once + one index can never beat storing it once:
+        assert report.ratio > 1.0
+
+    def test_single_instruction_per_slot(self, program):
+        tiny = _single_instruction(program)
+        report = per_slot_compression(tiny)
+        assert report.entries >= 1
+        assert report.index_bits >= 1
+        assert report.total_bits == report.index_bits + report.dictionary_bits
+
+    def test_bits_for_degenerate_counts(self):
+        # 0 and 1 entries still cost one index bit; powers of two are exact
+        assert _bits_for(0) == 1
+        assert _bits_for(1) == 1
+        assert _bits_for(2) == 1
+        assert _bits_for(3) == 2
+        assert _bits_for(256) == 8
+        assert _bits_for(257) == 9

@@ -68,6 +68,7 @@ int main(void) {{
 """
 
 
+@pytest.mark.slow  # hypothesis campaign over the whole stack
 @settings(max_examples=25, deadline=None)
 @given(programs())
 def test_random_programs_agree_across_stack(src):

@@ -134,3 +134,44 @@ class TestReport:
     def test_slices_derived(self):
         report = synthesize(build_machine("m-vliw-3"))
         assert report.resources.slices >= report.resources.core_luts // 4
+
+
+class TestModelRows:
+    """Every preset yields a complete, self-consistent Table III model row;
+    unknown design points fail loudly (ISSUE PR 5 satellite)."""
+
+    def test_every_preset_produces_a_complete_row(self):
+        names = preset_names()
+        assert len(names) == 13  # the paper's full design-point set
+        for name in names:
+            res = estimate_resources(build_machine(name))
+            assert res.machine_name == name
+            # every field populated and internally consistent
+            assert res.core_luts > 0
+            assert res.rf_luts > 0
+            assert 0 < res.lutram <= res.rf_luts
+            assert res.ic_luts >= 0
+            assert res.ffs > 0
+            assert res.dsps >= 0
+            assert res.slices >= max(res.core_luts // 4, res.ffs // 8)
+
+    def test_rows_cover_paper_table3(self):
+        # the analytic model emits a row for exactly the paper's points
+        assert set(preset_names()) == set(PAPER_SYNTHESIS)
+
+    def test_microblaze_rows_are_vendor_constants(self):
+        # closed IP: measured, not modelled — the paper numbers verbatim
+        for name in ("mblaze-3", "mblaze-5"):
+            res = estimate_resources(build_machine(name))
+            fmax, core, rf, lutram, _ic, ffs = PAPER_SYNTHESIS[name]
+            assert res.core_luts == core
+            assert res.rf_luts == rf
+            assert res.lutram == lutram
+            assert res.ffs == ffs
+            assert res.ic_luts == 0  # no exposed transport network
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(KeyError, match="unknown machine preset"):
+            build_machine("m-tta-99")
+        with pytest.raises(KeyError, match="known"):
+            synthesize(build_machine("not-a-core"))

@@ -93,6 +93,7 @@ def test_feature_coverage_over_a_batch():
     assert re.search(r"\[[^\]]*& \d+\]", blob)
 
 
+@pytest.mark.slow  # drives the oracle into its slow failure paths
 def test_oracle_rejects_broken_kernels_loudly():
     with pytest.raises(GeneratorError):
         reference_run("int main( {")  # does not compile

@@ -24,6 +24,7 @@ def _config(**kw) -> FuzzConfig:
     return FuzzConfig(**base)
 
 
+@pytest.mark.slow  # two full differential campaigns
 def test_small_campaign_is_clean_and_deterministic():
     a = run_fuzz(_config())
     b = run_fuzz(_config())
@@ -81,6 +82,7 @@ def test_progress_callback_sees_every_case():
     assert all(s[1] == report.cases_total for s in seen)
 
 
+@pytest.mark.slow  # campaign + delta-debugging minimization
 def test_injected_bug_is_caught_minimized_and_persisted(tmp_path, monkeypatch):
     """The subsystem's reason to exist, as one assertion chain: break the
     checked TTA engine's ``xor``, fuzz, and demand a small reproducer.

@@ -40,6 +40,7 @@ DIFF_MACHINES = ("m-tta-2", "m-vliw-2")
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow  # full kernel x machine differential matrix
 @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
 @pytest.mark.parametrize("kernel", KERNELS)
 def test_kernels_identical_across_modes(machine_name, kernel):
