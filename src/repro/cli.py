@@ -125,14 +125,26 @@ def _cmd_run(args) -> int:
         )
         return 2
     mode = "checked" if args.verify else (args.mode or "fast")
-    if args.profile and mode == "checked":
+    if args.profile and mode in ("checked", "batch"):
         print(
             "error: --profile needs the fast or turbo engine "
-            "(the checked reference keeps no hit vector); "
-            "use --mode fast or --mode turbo without --verify",
+            "(the checked reference keeps no hit vector and the batch "
+            "engine runs many lanes); use --mode fast or --mode turbo "
+            "without --verify",
             file=sys.stderr,
         )
         return 2
+    if args.batch is not None:
+        if mode != "batch":
+            print(
+                f"error: --batch requires --mode batch (got "
+                f"{'--verify' if args.verify else f'--mode {mode}'})",
+                file=sys.stderr,
+            )
+            return 2
+        if args.batch < 1:
+            print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
+            return 2
     if not args.trace:
         return _run_and_report(args, mode)
     from repro import obs
@@ -168,15 +180,22 @@ def _run_and_report(args, mode: str) -> int:
         from repro.sim import format_profile, run_compiled_profiled
 
         result, profile = run_compiled_profiled(compiled, mode=mode)
+    elif mode == "batch":
+        from repro.sim import run_batch
+
+        profile = None
+        lanes = args.batch or 1
+        result = run_batch(compiled, lanes=lanes)[0]
     else:
         profile = None
         result = run_compiled(compiled, check_connectivity=args.verify, mode=mode)
     encoding = encode_machine(machine)
+    engine_label = f"batch ({args.batch or 1} lanes)" if mode == "batch" else mode
     print(f"exit code : {result.exit_code}")
     print(f"cycles    : {result.cycles}")
     # the scalar (MicroBlaze-like) core has a single engine: --mode is
     # accepted for CLI symmetry but ignored there
-    print(f"engine    : {'scalar (single engine; --mode ignored)' if scalar else mode}")
+    print(f"engine    : {'scalar (single engine; --mode ignored)' if scalar else engine_label}")
     print(f"image     : {compiled.instruction_count} instructions "
           f"({compiled.instruction_count * encoding.instruction_width / 1000:.1f} kbit)")
     if hasattr(result, "bypass_reads"):
@@ -240,6 +259,9 @@ def _cmd_report(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.pipeline import ArtifactStore, default_store, sweep
 
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     try:
         kernels, machines = _parse_subsets(args)
     except ValueError as exc:
@@ -349,6 +371,9 @@ def _cmd_fuzz(args) -> int:
         count = 50
     if count < 0:
         print(f"error: --count must be >= 0, got {count}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     if time_budget is not None and time_budget <= 0:
         print(
@@ -496,13 +521,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument(
         "--mode",
-        choices=("fast", "checked", "turbo"),
+        choices=("fast", "checked", "turbo", "batch"),
         default=None,
         help="simulation engine (default fast): 'fast' verifies the schedule "
         "once at load time and runs pre-decoded code; 'turbo' additionally "
         "compiles basic blocks to specialized Python; 'checked' re-verifies "
-        "every cycle; the scalar (MicroBlaze-like) core has a single engine "
-        "and ignores --mode",
+        "every cycle; 'batch' runs N identical lanes through the vectorized "
+        "lockstep tier (see --batch); the scalar (MicroBlaze-like) core has "
+        "a single engine and ignores --mode",
+    )
+    p_run.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="lane count for --mode batch (default 1); lanes run in "
+        "lockstep and are reported via lane 0 (all lanes are identical "
+        "for a CLI run)",
     )
     p_run.add_argument(
         "--profile",
@@ -549,8 +584,9 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (1 = serial, in-process)",
     )
     p_sweep.add_argument(
-        "--mode", choices=("fast", "checked", "turbo"), default="fast",
-        help="simulation engine for computed pairs",
+        "--mode", choices=("fast", "checked", "turbo", "batch"), default="fast",
+        help="simulation engine for computed pairs ('batch' routes each "
+        "pair through the batched lockstep tier)",
     )
     p_sweep.add_argument(
         "--retries", type=int, default=1,
@@ -604,8 +640,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated design-point subset (default: all 13)")
     p_fuzz.add_argument(
         "--modes", default=None,
-        help="comma-separated engine subset of checked,fast,turbo "
-        "(default: all three; the scalar core always runs its single engine)",
+        help="comma-separated engine subset of checked,fast,turbo,batch "
+        "(default: all four; 'batch' adds a vectorized differential pass "
+        "over perturbed lane inputs; the scalar core always runs its "
+        "single engine)",
     )
     p_fuzz.add_argument(
         "-j", "--jobs", type=int, default=1,

@@ -31,6 +31,7 @@ from __future__ import annotations
 import copy
 from collections.abc import Callable
 
+from repro.fuzz.diff import INFRA_ERRORS
 from repro.fuzz.gen import (
     Assign,
     Bin,
@@ -69,6 +70,11 @@ class _Minimizer:
         self.checks += 1
         try:
             verdict = bool(self.predicate(source))
+        except INFRA_ERRORS:
+            # harness fault (bad corpus dir, pickle failure, ...), not a
+            # property of the candidate: a broken harness must abort the
+            # minimization, not masquerade as "no longer reproduces"
+            raise
         except Exception:
             verdict = False  # a crashing candidate is not "the same failure"
         self.cache[source] = verdict

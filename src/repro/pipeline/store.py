@@ -28,6 +28,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -42,6 +43,11 @@ _KIND_JSON = "json"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: set to any non-empty value to disable the default store entirely
 NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: age after which an orphaned ``.tmp`` file (writer killed between
+#: ``mkstemp`` and ``os.replace``) is garbage-collected on store init;
+#: generous enough that no live writer can still own it
+TMP_GC_AGE_S = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -62,6 +68,7 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     corrupt_dropped: int = 0
+    stale_tmp_removed: int = 0
 
 
 class ArtifactStore:
@@ -70,6 +77,7 @@ class ArtifactStore:
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = StoreStats()
+        self._gc_stale_tmp()
 
     # ---- paths ----------------------------------------------------------
 
@@ -210,6 +218,30 @@ class ArtifactStore:
             return None
 
     # ---- maintenance ----------------------------------------------------
+
+    def _gc_stale_tmp(self, age_s: float = TMP_GC_AGE_S) -> int:
+        """Remove orphaned write-temporaries older than *age_s* seconds.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaks its
+        ``.tmp`` file; nothing ever reads or replaces it again, so any
+        temp file past the age threshold is garbage.  Fresh temp files
+        (a concurrent writer mid-flight) are left alone.
+        """
+        cutoff = time.time() - age_s
+        removed = 0
+        for kind in (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON):
+            base = self.root / kind
+            if not base.exists():
+                continue
+            for path in base.rglob("*.tmp"):
+                try:
+                    if path.is_file() and path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue  # concurrent GC/writer won the race; fine
+        self.stats.stale_tmp_removed += removed
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed."""

@@ -10,6 +10,7 @@ oversubscribing a bus, or exceeding a register file's ports is an error,
 not a silent wrong answer.
 """
 
+from repro.sim.batch import run_batch
 from repro.sim.blockcompile import SIM_ENGINE_VERSION
 from repro.sim.errors import SimError
 from repro.sim.memory import DataMemory
@@ -33,6 +34,7 @@ __all__ = [
     "VLIWSimulator",
     "collect_profile",
     "format_profile",
+    "run_batch",
     "run_compiled",
     "run_compiled_profiled",
     "verify_tta_program",

@@ -1,0 +1,744 @@
+"""Batched lockstep simulation: N runs of one decoded program at once.
+
+The sweep, fuzzing and design-space workloads all share one shape: the
+*same* compiled program is executed many times, with at most the data
+memory differing between runs.  ``mode="batch"`` exploits that shape
+with a fourth engine tier next to checked/fast/turbo:
+
+* **lane** -- one logical run: the program plus an optional list of
+  ``(address, bytes)`` memory preloads applied on top of the program's
+  own ``data_init``;
+* **uniform group** -- lanes whose preloads are byte-identical are
+  provably identical runs (per-lane state enters *only* through the
+  preloads), so each distinct preload set is simulated **once** on the
+  fast engine and the result is replicated across its lanes;
+* **vector group** -- when several *distinct* preload sets are batched,
+  they execute in lockstep through a vectorized interpreter: register
+  files, bus values and FU latches hold hybrid values (a python int
+  while every lane agrees, a ``(K,)`` ``uint32`` ndarray once a loaded
+  value differs between lanes) and data memory is promoted to a
+  ``(K, size)`` byte matrix with per-lane gather/scatter accessors.
+
+Lockstep requires control flow to stay uniform.  When a branch
+predicate or computed target disagrees between lanes -- or a lane hits
+a dynamic error such as an out-of-range access -- the group splits:
+lanes that agree with lane 0 restart the vector run among themselves,
+and every other lane **falls back individually to the fast engine**,
+mirroring the turbo engine's per-block fallback contract.  Restarting
+from cycle 0 is safe (runs are deterministic) and terminates (every
+split drops at least one lane).  Dynamic *errors* whose message embeds
+engine state are never synthesized by the vector interpreter; the
+failing lanes re-run on the fast engine so they raise byte-identical
+:class:`~repro.sim.errors.SimError`\\ s at the identical cycle.
+
+Every lane's exit code, cycle count and full statistics record is
+byte-identical to the checked reference engine's
+(``tests/test_batch.py`` pins this differentially, kernel by kernel).
+
+:func:`run_batch` is also the narrow "decoded program in, stats out"
+entry point shared by every tier: ``mode="checked"|"fast"|"turbo"``
+runs the same lanes serially through the named engine, and the scalar
+core runs its single engine per lane -- so differential harnesses can
+compare tiers lane-for-lane through one call signature.
+
+numpy is required only for ``mode="batch"`` itself; the serial modes
+work without it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from heapq import heappop as _heappop, heappush as _heappush
+
+from repro import obs
+from repro.backend.abi import MEMORY_SIZE, return_value_reg
+from repro.isa.operations import OPS, OpKind
+from repro.isa.semantics import MASK32, to_signed
+from repro.sim.errors import SimError
+from repro.sim.predecode import ALU_FUNCS, static_decode_tta, static_decode_vliw
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain image ships numpy
+    np = None
+
+
+class _LaneDiverge(Exception):
+    """Internal signal: the lockstep vector run cannot continue for every
+    lane.  ``keep`` is a boolean vector over the group's lanes; kept
+    lanes restart the vector run among themselves, dropped lanes fall
+    back individually to the fast engine."""
+
+    def __init__(self, keep):
+        super().__init__("lanes diverged")
+        self.keep = keep
+
+
+# ---------------------------------------------------------------------------
+# hybrid value helpers
+#
+# A value is either a python int in [0, 2**32) (every lane agrees) or a
+# (K,) uint32 ndarray (per-lane).  The helpers below coerce scalars into
+# numpy's value system only at the moment a vector operand forces it,
+# keeping the all-uniform hot path on the exact python semantics of
+# ``predecode.ALU_FUNCS``.
+# ---------------------------------------------------------------------------
+
+
+def _vu(x):
+    """Operand as unsigned 32-bit for a vector expression."""
+    return np.uint32(x) if isinstance(x, int) else x
+
+
+def _vi(x):
+    """Operand as signed 32-bit for a vector expression."""
+    return np.int32(to_signed(x)) if isinstance(x, int) else x.view(np.int32)
+
+
+def _v_gt(a, b):
+    return (_vi(a) > _vi(b)).astype(np.uint32)
+
+
+def _v_shr(a, b):
+    # keep the shift count in int32: int32 >> uint32 would promote to int64
+    count = (_vu(b) & np.uint32(31)).astype(np.int32)
+    return (_vi(a) >> count).view(np.uint32)
+
+
+def _v_sxhw(a):
+    v = _vu(a) & np.uint32(0xFFFF)
+    return np.where(v & np.uint32(0x8000), v | np.uint32(0xFFFF0000), v)
+
+
+def _v_sxqw(a):
+    v = _vu(a) & np.uint32(0xFF)
+    return np.where(v & np.uint32(0x80), v | np.uint32(0xFFFFFF00), v)
+
+
+#: vectorized twins of :data:`repro.sim.predecode.ALU_FUNCS`; bit-exact
+#: with the scalar semantics (pinned by ``tests/test_batch.py``).  Only
+#: consulted when at least one operand is per-lane.
+_VEC_ALU = {
+    "add": lambda a, b: _vu(a) + _vu(b),
+    "sub": lambda a, b: _vu(a) - _vu(b),
+    "mul": lambda a, b: _vu(a) * _vu(b),
+    "and": lambda a, b: _vu(a) & _vu(b),
+    "ior": lambda a, b: _vu(a) | _vu(b),
+    "xor": lambda a, b: _vu(a) ^ _vu(b),
+    "eq": lambda a, b: (_vu(a) == _vu(b)).astype(np.uint32),
+    "gt": _v_gt,
+    "gtu": lambda a, b: (_vu(a) > _vu(b)).astype(np.uint32),
+    "shl": lambda a, b: _vu(a) << (_vu(b) & np.uint32(31)),
+    "shru": lambda a, b: _vu(a) >> (_vu(b) & np.uint32(31)),
+    "shr": _v_shr,
+    "sxhw": _v_sxhw,
+    "sxqw": _v_sxqw,
+}
+
+
+def _apply2(opcode, a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return ALU_FUNCS[opcode](a, b)
+    return _VEC_ALU[opcode](a, b)
+
+
+def _apply1(opcode, a):
+    if isinstance(a, int):
+        return ALU_FUNCS[opcode](a)
+    return _VEC_ALU[opcode](a)
+
+
+def _collapse(value):
+    """Fold a per-lane value every lane agrees on back into a python int
+    (loaded values frequently agree even when memories differ)."""
+    if isinstance(value, int):
+        return value
+    first = value[0]
+    if (value == first).all():
+        return int(first)
+    return value
+
+
+def _uniform_target(value, k):
+    """Resolve a control-transfer target (or ``ra`` value) to one int, or
+    split the group when lanes disagree: lockstep has a single pc."""
+    if isinstance(value, int):
+        return value
+    agree = value == value[0]
+    if agree.all():
+        return int(value[0])
+    raise _LaneDiverge(agree)
+
+
+def _uniform_truth(value, k):
+    """One truth value for a branch predicate, or a control-flow split:
+    lanes taking lane 0's direction continue vectorized."""
+    if isinstance(value, int):
+        return bool(value)
+    taken = value != 0
+    agree = taken == taken[0]
+    if agree.all():
+        return bool(taken[0])
+    raise _LaneDiverge(agree)
+
+
+def _drop_all(k):
+    """A keep vector dropping every lane: the fault is lane-invariant (or
+    its message would embed vector state), so each lane re-runs on the
+    fast engine to raise the byte-identical reference error."""
+    return np.zeros(k, dtype=bool)
+
+
+# ---------------------------------------------------------------------------
+# per-lane data memory, promoted to a (K, size) byte matrix
+# ---------------------------------------------------------------------------
+
+
+class _VecMemory:
+    """Little-endian byte memory for K lanes at once.
+
+    Addresses and stored values may be uniform ints or per-lane vectors;
+    out-of-range lanes split the group (in-bounds lanes keep going, the
+    faulting lanes fall back to the fast engine for the exact
+    :class:`SimError`).
+    """
+
+    def __init__(self, arr):
+        self.arr = arr  # (K, size) uint8
+        self.k, self.size = arr.shape
+        self._rows = np.arange(self.k)
+
+    def _addr(self, address, width):
+        """Validated gather/scatter index: an int, or a (K,) intp array."""
+        if isinstance(address, int):
+            if address + width > self.size:
+                raise _LaneDiverge(_drop_all(self.k))
+            return address
+        ok = address <= np.uint32(self.size - width)
+        if not ok.all():
+            raise _LaneDiverge(ok)
+        return address.astype(np.intp)
+
+    def _gather(self, address, width):
+        arr = self.arr
+        a = self._addr(address, width)
+        if isinstance(a, int):
+            value = arr[:, a].astype(np.uint32)
+            for i in range(1, width):
+                value |= arr[:, a + i].astype(np.uint32) << np.uint32(8 * i)
+        else:
+            rows = self._rows
+            value = arr[rows, a].astype(np.uint32)
+            for i in range(1, width):
+                value |= arr[rows, a + i].astype(np.uint32) << np.uint32(8 * i)
+        return value
+
+    def load(self, op, address):
+        if op == "ldw":
+            return _collapse(self._gather(address, 4))
+        if op in ("ldh", "ldhu"):
+            raw = self._gather(address, 2)
+            return _collapse(_v_sxhw(raw) if op == "ldh" else raw)
+        if op in ("ldq", "ldqu"):
+            raw = self._gather(address, 1)
+            return _collapse(_v_sxqw(raw) if op == "ldq" else raw)
+        raise SimError(f"unknown load {op}")
+
+    def store(self, op, address, value):
+        width = {"stw": 4, "sth": 2, "stq": 1}.get(op)
+        if width is None:
+            raise SimError(f"unknown store {op}")
+        a = self._addr(address, width)
+        if isinstance(a, int) and isinstance(value, int):
+            blob = (value & MASK32).to_bytes(4, "little")[:width]
+            self.arr[:, a : a + width] = np.frombuffer(blob, dtype=np.uint8)
+            return
+        v = _vu(value)
+        if isinstance(a, int):
+            for i in range(width):
+                self.arr[:, a + i] = (v >> np.uint32(8 * i)).astype(np.uint8)
+        else:
+            rows = self._rows
+            for i in range(width):
+                self.arr[rows, a + i] = (v >> np.uint32(8 * i)).astype(np.uint8)
+
+
+def _build_vec_memory(compiled, lane_inputs) -> _VecMemory:
+    """One (K, size) byte matrix: each row is ``data_init`` plus that
+    lane's preloads, applied through the same normalization path the
+    serial engines use (so bad preloads raise the identical error)."""
+    from repro.sim.memory import DataMemory
+
+    arr = np.zeros((len(lane_inputs), MEMORY_SIZE), dtype=np.uint8)
+    for row, lane_input in enumerate(lane_inputs):
+        memory = DataMemory(MEMORY_SIZE)
+        for address, blob in compiled.data_init:
+            memory.preload(address, blob)
+        for address, blob in lane_input:
+            memory.preload(address, blob)
+        arr[row, :] = np.frombuffer(memory.data, dtype=np.uint8)
+    return _VecMemory(arr)
+
+
+# ---------------------------------------------------------------------------
+# function-unit model (hybrid values; dues are schedule-static ints)
+# ---------------------------------------------------------------------------
+
+
+class _VecFU:
+    """Semi-virtual time-latching FU with hybrid operand/result values.
+
+    Due cycles come from static latencies, so they stay plain ints and
+    the monotonicity check matches :class:`repro.sim.tta_sim._FU`."""
+
+    __slots__ = ("name", "o1", "result", "has_result", "pending")
+
+    def __init__(self, name):
+        self.name = name
+        self.o1 = 0
+        self.result = 0
+        self.has_result = False
+        self.pending = []
+
+    def commit(self, cycle):
+        while self.pending and self.pending[0][0] <= cycle:
+            _, value = self.pending.pop(0)
+            self.result = value
+            self.has_result = True
+
+    def push(self, due, value):
+        if self.pending and due <= self.pending[-1][0]:
+            raise ValueError(
+                f"{self.name}: result due {due} not after pending {self.pending[-1][0]}"
+            )
+        self.pending.append((due, value))
+
+
+# ---------------------------------------------------------------------------
+# vector lockstep interpreters (mirror run_tta_fast / run_vliw_fast)
+# ---------------------------------------------------------------------------
+
+
+def _run_tta_vec(compiled, lane_inputs, max_cycles) -> list:
+    from repro.sim.tta_sim import TTAResult
+
+    program = compiled.program
+    machine = program.machine
+    decoded = static_decode_tta(program)
+    jl1 = machine.jump_latency + 1
+    k = len(lane_inputs)
+    mem = _build_vec_memory(compiled, lane_inputs)
+    rfs = {rf.name: [0] * rf.size for rf in machine.register_files}
+    fus = {fu.name: _VecFU(fu.name) for fu in machine.all_units}
+    ra = 0
+    n_instrs = len(decoded)
+    hits = [0] * n_instrs
+    pc = 0
+    cycle = 0
+    redirect_cycle = -1
+    redirect_target = 0
+
+    def sample(src):
+        kind = src[0]
+        if kind == "imm":
+            return src[1]
+        if kind == "rf":
+            return rfs[src[1]][src[2]]
+        fu = fus[src[1]]
+        if fu.pending and fu.pending[0][0] <= cycle:
+            fu.commit(cycle)
+        if not fu.has_result:
+            # schedule violation; timing is lane-invariant, and the
+            # reference message embeds FU state -- re-raise it per lane
+            raise _LaneDiverge(_drop_all(k))
+        return fu.result
+
+    while True:
+        if cycle == redirect_cycle:
+            pc = redirect_target
+            redirect_cycle = -1
+        if pc < 0 or pc >= n_instrs:
+            raise SimError(f"PC out of range: {pc}")
+        rf_moves, o1_moves, trig_moves, _counts = decoded[pc]
+        hits[pc] += 1
+        # phases mirror run_tta_fast: sample + latch, trigger, RF commit
+        if rf_moves:
+            pending_rf = [(rfs[rf], idx, sample(src)) for src, rf, idx in rf_moves]
+        else:
+            pending_rf = ()
+        for src, fu_name in o1_moves:
+            fus[fu_name].o1 = sample(src)
+        halted = False
+        for src, fu_name, opcode in trig_moves:
+            value = sample(src)
+            fu = fus[fu_name]
+            effect = None
+            if opcode == "halt":
+                halted = True
+            elif opcode == "getra":
+                fu.push(cycle + 1, ra)
+            elif opcode == "setra":
+                ra = _uniform_target(value, k)
+            elif opcode == "jump":
+                effect = (cycle + jl1, _uniform_target(value, k))
+            elif opcode == "call":
+                ra = pc + jl1
+                effect = (cycle + jl1, _uniform_target(value, k))
+            elif opcode == "ret":
+                effect = (cycle + jl1, ra)
+            elif opcode == "cjump":
+                if _uniform_truth(value, k):
+                    effect = (cycle + jl1, _uniform_target(fu.o1, k))
+            elif opcode == "cjumpz":
+                if not _uniform_truth(value, k):
+                    effect = (cycle + jl1, _uniform_target(fu.o1, k))
+            else:
+                spec = OPS[opcode]
+                if spec.kind is OpKind.LSU:
+                    if spec.writes_mem:
+                        mem.store(opcode, value, fu.o1)
+                    else:
+                        fu.push(cycle + spec.latency, mem.load(opcode, value))
+                elif spec.operands == 2:
+                    fu.push(cycle + spec.latency, _apply2(opcode, value, fu.o1))
+                else:
+                    fu.push(cycle + spec.latency, _apply1(opcode, value))
+            if effect is not None:
+                if redirect_cycle >= 0:
+                    raise SimError("overlapping control transfers")
+                redirect_cycle, redirect_target = effect
+        for regs, idx, value in pending_rf:
+            regs[idx] = value
+        if halted:
+            break
+        cycle += 1
+        pc += 1
+        if cycle > max_cycles:
+            raise SimError("cycle budget exceeded (runaway program?)")
+
+    rv = return_value_reg(machine)
+    exit_value = rfs[rv.rf][rv.idx]
+    base = TTAResult(0, cycle + 1)
+    for count, (_, _, _, counts) in zip(hits, decoded):
+        if count:
+            base.moves += count * counts[0]
+            base.triggers += count * counts[1]
+            base.rf_reads += count * counts[2]
+            base.bypass_reads += count * counts[3]
+            base.rf_writes += count * counts[4]
+    return _fan_out(base, exit_value, k)
+
+
+def _run_vliw_vec(compiled, lane_inputs, max_cycles) -> list:
+    from repro.sim.vliw_sim import VLIWResult
+
+    program = compiled.program
+    machine = program.machine
+    decoded = static_decode_vliw(program)
+    jl1 = machine.jump_latency + 1
+    k = len(lane_inputs)
+    mem = _build_vec_memory(compiled, lane_inputs)
+    rfs = {rf.name: [0] * rf.size for rf in machine.register_files}
+    ra = 0
+    pending = []  # (due, seq, regs, idx, value); seq keeps tuples orderable
+    seq = 0
+    op_counts = [len(bundle) for bundle in decoded]
+    n_instrs = len(decoded)
+    hits = [0] * n_instrs
+    pc = 0
+    cycle = 0
+    redirect_cycle = -1
+    redirect_target = 0
+
+    def read(src):
+        return src[1] if src[0] == "imm" else rfs[src[1]][src[2]]
+
+    while True:
+        while pending and pending[0][0] < cycle:
+            _, _, regs, idx, value = _heappop(pending)
+            regs[idx] = value
+        if cycle == redirect_cycle:
+            pc = redirect_target
+            redirect_cycle = -1
+        if pc < 0 or pc >= n_instrs:
+            raise SimError(f"PC out of range: {pc}")
+        hits[pc] += 1
+        halted = False
+        for name, srcs, dest, latency in decoded[pc]:
+            effect = None
+            if name == "halt":
+                halted = True
+            elif name == "jump":
+                effect = (cycle + jl1, _uniform_target(read(srcs[0]), k))
+            elif name == "call":
+                ra = pc + jl1
+                effect = (cycle + jl1, _uniform_target(read(srcs[0]), k))
+            elif name == "ret":
+                effect = (cycle + jl1, ra)
+            elif name in ("cjump", "cjumpz"):
+                taken = _uniform_truth(read(srcs[0]), k)
+                if name == "cjumpz":
+                    taken = not taken
+                if taken:
+                    effect = (cycle + jl1, _uniform_target(read(srcs[1]), k))
+            elif name in ("ldw", "ldh", "ldq", "ldqu", "ldhu"):
+                seq += 1
+                _heappush(
+                    pending,
+                    (cycle + latency, seq, rfs[dest[0]], dest[1],
+                     mem.load(name, read(srcs[0]))),
+                )
+            elif name in ("stw", "sth", "stq"):
+                mem.store(name, read(srcs[0]), read(srcs[1]))
+            elif name == "setra":
+                ra = _uniform_target(read(srcs[0]), k)
+            elif name == "getra":
+                seq += 1
+                _heappush(pending, (cycle + latency, seq, rfs[dest[0]], dest[1], ra))
+            elif name == "copy":
+                seq += 1
+                _heappush(
+                    pending,
+                    (cycle + latency, seq, rfs[dest[0]], dest[1], read(srcs[0])),
+                )
+            else:
+                seq += 1
+                value = (
+                    _apply2(name, read(srcs[0]), read(srcs[1]))
+                    if len(srcs) == 2
+                    else _apply1(name, read(srcs[0]))
+                )
+                _heappush(pending, (cycle + latency, seq, rfs[dest[0]], dest[1], value))
+            if effect is not None:
+                if redirect_cycle >= 0:
+                    raise SimError("overlapping control transfers")
+                redirect_cycle, redirect_target = effect
+        if halted:
+            while pending:
+                _, _, regs, idx, value = _heappop(pending)
+                regs[idx] = value
+            break
+        cycle += 1
+        pc += 1
+        if cycle > max_cycles:
+            raise SimError("cycle budget exceeded (runaway program?)")
+
+    rv = return_value_reg(machine)
+    exit_value = rfs[rv.rf][rv.idx]
+    base = VLIWResult(0, cycle + 1, cycle + 1)
+    base.ops = sum(count * ops for count, ops in zip(hits, op_counts))
+    return _fan_out(base, exit_value, k)
+
+
+def _fan_out(base, exit_value, k) -> list:
+    """K per-lane result objects from one lockstep run: the counters are
+    shared (same path), only the exit code may differ per lane."""
+    results = []
+    for lane in range(k):
+        result = dataclasses.replace(base)
+        result.exit_code = (
+            exit_value if isinstance(exit_value, int) else int(exit_value[lane])
+        )
+        results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# group driver: dedup, vector lockstep, restart-on-divergence, fallback
+# ---------------------------------------------------------------------------
+
+
+def _run_one(compiled, lane_input, mode, max_cycles):
+    """One lane through one of the serial engines."""
+    from repro.machine.machine import MachineStyle
+    from repro.sim.scalar_sim import ScalarSimulator
+    from repro.sim.tta_sim import TTASimulator
+    from repro.sim.vliw_sim import VLIWSimulator
+
+    style = compiled.machine.style
+    if style is MachineStyle.TTA:
+        sim = TTASimulator(compiled.program, max_cycles=max_cycles, mode=mode)
+    elif style is MachineStyle.VLIW:
+        sim = VLIWSimulator(compiled.program, max_cycles=max_cycles, mode=mode)
+    else:
+        sim = ScalarSimulator(compiled.program, max_cycles=max_cycles)
+    sim.preload(compiled.data_init)
+    for address, blob in lane_input:
+        sim.memory.preload(address, blob)
+    return sim.run()
+
+
+def _run_one_guarded(compiled, lane_input, max_cycles):
+    try:
+        return _run_one(compiled, lane_input, "fast", max_cycles)
+    except SimError as exc:
+        return exc
+
+
+def _run_group(compiled, lane_inputs, max_cycles, counters) -> list:
+    """Distinct-input lanes in lockstep, splitting on divergence."""
+    k = len(lane_inputs)
+    if k == 1:
+        return [_run_one_guarded(compiled, lane_inputs[0], max_cycles)]
+    from repro.machine.machine import MachineStyle
+
+    runner = (
+        _run_tta_vec
+        if compiled.machine.style is MachineStyle.TTA
+        else _run_vliw_vec
+    )
+    counters["memory_promotions"] += 1
+    try:
+        results = runner(compiled, lane_inputs, max_cycles)
+        for result in results:
+            _record_lane(result, compiled)
+        return results
+    except _LaneDiverge as diverged:
+        keep = diverged.keep
+        cont = [i for i in range(k) if keep[i]]
+        drop = [i for i in range(k) if not keep[i]]
+        if not drop:  # pragma: no cover - splits always drop >= 1 lane
+            drop, cont = cont, []
+        counters["restarts"] += 1
+        counters["fallback_lanes"] += len(drop)
+        out = [None] * k
+        for i in drop:
+            out[i] = _run_one_guarded(compiled, lane_inputs[i], max_cycles)
+        if cont:
+            sub = _run_group(
+                compiled, [lane_inputs[i] for i in cont], max_cycles, counters
+            )
+            for i, result in zip(cont, sub):
+                out[i] = result
+        return out
+    except (SimError, ValueError):
+        # lane-invariant fault (PC range, cycle budget, overlapping
+        # transfers, non-monotonic FU completion): every lane re-runs on
+        # the fast engine for the byte-identical reference error
+        counters["fallback_lanes"] += k
+        return [_run_one_guarded(compiled, lane, max_cycles) for lane in lane_inputs]
+
+
+def _record_lane(result, compiled) -> None:
+    from repro.machine.machine import MachineStyle
+    from repro.sim.counters import record_run
+
+    style = "tta" if compiled.machine.style is MachineStyle.TTA else "vliw"
+    record_run(result, style)
+
+
+def _replicate(outcome):
+    """A lane's own copy of a shared outcome (errors are immutable enough
+    to share; result records are mutable dataclasses, so copy)."""
+    return outcome if isinstance(outcome, SimError) else dataclasses.replace(outcome)
+
+
+def run_batch(
+    compiled,
+    inputs=None,
+    *,
+    lanes=None,
+    mode: str = "batch",
+    max_cycles: int = 500_000_000,
+    on_error: str = "raise",
+) -> list:
+    """Execute N independent lanes of *compiled* and return a result list.
+
+    ``inputs`` is a sequence of per-lane preload lists (``(address,
+    bytes)`` pairs applied on top of ``compiled.data_init``); ``lanes``
+    gives the lane count instead when every lane runs the pristine
+    image (default 1).  ``mode`` selects the tier: ``"batch"`` (the
+    vectorized lockstep engine with per-lane fast-engine fallback) or
+    any serial engine (``"checked"``/``"fast"``/``"turbo"``) run once
+    per lane -- the shared "decoded program in, stats out" interface of
+    every tier.  Scalar cores always run their single engine per lane.
+
+    ``on_error="raise"`` re-raises the lowest-failing-lane's
+    :class:`SimError`; ``on_error="return"`` places the error object in
+    that lane's slot so callers can compare per-lane outcomes.
+    """
+    from repro.machine.machine import MachineStyle
+
+    if on_error not in ("raise", "return"):
+        raise ValueError(f"unknown on_error policy {on_error!r}")
+    if mode not in ("batch", "checked", "fast", "turbo"):
+        raise ValueError(f"unknown simulation mode {mode!r}")
+    if inputs is None:
+        n = 1 if lanes is None else lanes
+        if n < 0:
+            raise ValueError(f"lane count must be >= 0, got {n}")
+        lane_inputs = [()] * n
+    else:
+        lane_inputs = [
+            tuple((int(address), bytes(blob)) for address, blob in lane)
+            for lane in inputs
+        ]
+        if lanes is not None and lanes != len(lane_inputs):
+            raise ValueError(
+                f"lanes={lanes} disagrees with {len(lane_inputs)} input rows"
+            )
+        n = len(lane_inputs)
+    if n == 0:
+        return []
+
+    style = compiled.machine.style
+    serial_mode = None
+    if style not in (MachineStyle.TTA, MachineStyle.VLIW):
+        serial_mode = "fast"  # single-engine core; mirrors run_compiled
+    elif mode != "batch":
+        serial_mode = mode
+
+    if serial_mode is not None:
+        outcomes = []
+        for lane_input in lane_inputs:
+            try:
+                outcomes.append(_run_one(compiled, lane_input, serial_mode, max_cycles))
+            except SimError as exc:
+                outcomes.append(exc)
+        return _finish(outcomes, on_error)
+
+    if np is None:
+        raise RuntimeError(
+            "mode='batch' requires numpy; install it or use one of the "
+            "serial engine modes ('checked', 'fast', 'turbo')"
+        )
+
+    counters = {"restarts": 0, "fallback_lanes": 0, "memory_promotions": 0}
+    outcomes = [None] * n
+    with obs.span(
+        "sim.batch",
+        machine=compiled.machine.name,
+        style=style.value,
+        lanes=n,
+    ):
+        # lanes with byte-identical preloads are provably identical runs
+        # (per-lane state enters only through the preloads): simulate
+        # each distinct preload set once
+        order: list[tuple] = []
+        groups: dict[tuple, list[int]] = {}
+        for i, lane_input in enumerate(lane_inputs):
+            if lane_input not in groups:
+                groups[lane_input] = []
+                order.append(lane_input)
+            groups[lane_input].append(i)
+        if len(order) == 1:
+            key_outcomes = [_run_one_guarded(compiled, order[0], max_cycles)]
+        else:
+            key_outcomes = _run_group(compiled, order, max_cycles, counters)
+        for key, outcome in zip(order, key_outcomes):
+            for i in groups[key]:
+                outcomes[i] = _replicate(outcome)
+    obs.count("sim.batch.lanes", n)
+    obs.count("sim.batch.dedup_lanes", n - len(order))
+    obs.count("sim.batch.fallback_lanes", counters["fallback_lanes"])
+    obs.count("sim.batch.restarts", counters["restarts"])
+    obs.count("sim.batch.memory_promotions", counters["memory_promotions"])
+    return _finish(outcomes, on_error)
+
+
+def _finish(outcomes, on_error):
+    if on_error == "raise":
+        for outcome in outcomes:
+            if isinstance(outcome, SimError):
+                raise outcome
+    return outcomes

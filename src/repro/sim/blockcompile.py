@@ -60,8 +60,8 @@ from repro.sim.predecode import (
 #: the pipeline artifact fingerprint (:mod:`repro.pipeline.fingerprint`)
 #: so a cached sweep result can never mask a codegen semantics change:
 #: bump this whenever the semantics of any engine (checked / fast /
-#: turbo) or of the generated block code could change.
-SIM_ENGINE_VERSION = 3
+#: turbo / batch) or of the generated block code could change.
+SIM_ENGINE_VERSION = 4
 
 #: cache keys on ``Program.predecode_cache`` for compiled block code
 _TTA_TURBO_KEY = "tta-turbo"

@@ -13,39 +13,44 @@ class DataMemory:
         self.data = bytearray(size)
 
     def preload(self, address: int, blob: bytes) -> None:
-        self._check(address, len(blob))
+        address = self._normalize(address, len(blob))
         self.data[address : address + len(blob)] = blob
 
-    def _check(self, address: int, size: int) -> None:
-        if address < 0 or address + size > len(self.data):
+    def _normalize(self, address: int, size: int) -> int:
+        """Wrap *address* to the 32-bit space and bounds-check the access.
+
+        The error reports the address as the program produced it (a
+        negative value stays negative), not the wrapped form.
+        """
+        wrapped = address & MASK32
+        if wrapped + size > len(self.data):
             raise SimError(f"memory access out of range: {address:#x}+{size}")
+        return wrapped
 
     def load(self, op: str, address: int) -> int:
-        address &= MASK32
         if op == "ldw":
-            self._check(address, 4)
+            address = self._normalize(address, 4)
             return int.from_bytes(self.data[address : address + 4], "little")
         if op in ("ldh", "ldhu"):
-            self._check(address, 2)
+            address = self._normalize(address, 2)
             raw = int.from_bytes(self.data[address : address + 2], "little")
             return sext16(raw) if op == "ldh" else raw
         if op in ("ldq", "ldqu"):
-            self._check(address, 1)
+            address = self._normalize(address, 1)
             raw = self.data[address]
             return sext8(raw) if op == "ldq" else raw
         raise SimError(f"unknown load {op}")
 
     def store(self, op: str, address: int, value: int) -> None:
-        address &= MASK32
         value &= MASK32
         if op == "stw":
-            self._check(address, 4)
+            address = self._normalize(address, 4)
             self.data[address : address + 4] = value.to_bytes(4, "little")
         elif op == "sth":
-            self._check(address, 2)
+            address = self._normalize(address, 2)
             self.data[address : address + 2] = (value & 0xFFFF).to_bytes(2, "little")
         elif op == "stq":
-            self._check(address, 1)
+            address = self._normalize(address, 1)
             self.data[address] = value & 0xFF
         else:
             raise SimError(f"unknown store {op}")

@@ -63,7 +63,12 @@ def collect_profile(sim, result) -> SimProfile:
             "no profile data: run the simulator with mode='fast' or "
             "mode='turbo' first (the checked engine keeps no hit vector)"
         )
-    engine = getattr(sim, "_last_engine", "fast")
+    engine = getattr(sim, "_last_engine", None)
+    if engine is None:
+        raise ValueError(
+            "no profile data: run the simulator with mode='fast' or "
+            "mode='turbo' first (the checked engine keeps no hit vector)"
+        )
     with obs.span("sim.profile.collect", engine=engine):
         return _collect(sim, result, hits, engine)
 

@@ -45,12 +45,19 @@ def run_compiled(
     ``mode="turbo"`` additionally compiles basic blocks to specialized
     Python code chained through a dispatch table (falling back per block
     to the fast engine where codegen cannot prove the block static);
-    ``mode="checked"`` runs the per-cycle reference engine.
+    ``mode="checked"`` runs the per-cycle reference engine;
+    ``mode="batch"`` routes through the batched lockstep tier of
+    :mod:`repro.sim.batch` (a single lane here -- use
+    :func:`~repro.sim.batch.run_batch` directly for N-lane execution).
     ``check_connectivity`` additionally routes every executed TTA move in
     checked mode (fast and turbo modes always verify connectivity at
     load time).  The scalar core has a single engine; *mode* is ignored
     there.  All modes are bit- and cycle-exact with each other.
     """
+    if mode == "batch":
+        from repro.sim.batch import run_batch
+
+        return run_batch(compiled, lanes=1, max_cycles=max_cycles)[0]
     return _make_simulator(compiled, check_connectivity, max_cycles, mode).run()
 
 

@@ -1,0 +1,259 @@
+"""Batched lockstep engine tests.
+
+``mode="batch"`` must be bit- and cycle-exact with the checked reference
+engine on every lane -- exit code, cycle count and **every** statistics
+counter -- whether the lanes dedup onto one fast run (identical inputs),
+execute vectorized in lockstep (distinct inputs), or fall back per lane
+on control-flow divergence and dynamic errors, mirroring turbo's
+per-block fallback contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro import build_machine, compile_for_machine, compile_source, obs
+from repro.kernels import KERNELS, compile_kernel
+from repro.sim import SimError, run_batch, run_compiled
+from repro.sim import batch as batch_mod
+
+DIFF_MACHINES = ("m-tta-2", "m-vliw-2")
+
+LANE_COUNTS = (1, 2, 32)
+
+FIB_SRC = """
+int fib(int n){ if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void){ return fib(12) - 144; }
+"""
+
+#: loop trip count, multiplier and branch threshold all come from
+#: memory, so per-lane preloads drive genuinely divergent control flow
+BRANCH_SRC = """
+int g[4] = {3, 10, 7, 2};
+int main() {
+  int acc = 0;
+  int n = g[0];
+  for (int i = 0; i < n; i = i + 1) { acc = acc + g[1] * i + i; }
+  if (acc > g[2]) { return acc - g[3]; }
+  return acc + g[3];
+}
+"""
+
+#: the index loaded from g[0] can point far outside the 1 MiB data
+#: memory, producing a per-lane out-of-range SimError
+OOB_SRC = """
+int g[2] = {1, 0};
+int main() {
+  int a[4];
+  a[0] = 11; a[1] = 22; a[2] = 33; a[3] = 44;
+  return a[g[0]] + g[1];
+}
+"""
+
+
+def _compile(src, machine_name):
+    return compile_for_machine(compile_source(src), build_machine(machine_name))
+
+
+def _word(value: int) -> bytes:
+    return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+# ---------------------------------------------------------------------------
+# differential: every lane byte-identical to the checked oracle
+# ---------------------------------------------------------------------------
+
+
+class TestBatchDifferentialSmoke:
+    """Small batch-vs-checked matrix the CI workflow runs on every push
+    (selected by class name; keep it fast: 2 machines x 2 kernels)."""
+
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    @pytest.mark.parametrize("kernel", ("mips", "motion"))
+    def test_smoke(self, machine_name, kernel):
+        compiled = compile_for_machine(
+            compile_kernel(kernel), build_machine(machine_name)
+        )
+        reference = asdict(run_compiled(compiled, mode="checked"))
+        for lanes in LANE_COUNTS:
+            results = run_batch(compiled, lanes=lanes)
+            assert len(results) == lanes
+            for lane, result in enumerate(results):
+                assert asdict(result) == reference, (
+                    f"{machine_name}/{kernel} lane {lane}/{lanes} diverged"
+                )
+
+
+@pytest.mark.slow  # full kernel x machine x lane-count differential matrix
+@pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_identical_batch_vs_checked(machine_name, kernel):
+    compiled = compile_for_machine(compile_kernel(kernel), build_machine(machine_name))
+    reference = asdict(run_compiled(compiled, mode="checked"))
+    assert reference["exit_code"] == 0
+    for lanes in LANE_COUNTS:
+        for lane, result in enumerate(run_batch(compiled, lanes=lanes)):
+            assert asdict(result) == reference, (
+                f"{machine_name}/{kernel} lane {lane}/{lanes} diverged"
+            )
+
+
+# ---------------------------------------------------------------------------
+# genuinely distinct lanes: vectorized lockstep + divergence fallback
+# ---------------------------------------------------------------------------
+
+
+class TestVectorLanes:
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    def test_divergent_control_flow_matches_checked(self, machine_name):
+        compiled = _compile(BRANCH_SRC, machine_name)
+        g = compiled.symbols["g"]
+        inputs = [
+            (),
+            ((g, _word(1)),),        # one-trip loop, opposite branch
+            ((g + 4, _word(100)),),  # large multiplier, same control flow
+            ((g, _word(0)),),        # zero-trip loop
+            (),                      # dedups onto lane 0
+        ]
+        results = run_batch(compiled, inputs=inputs)
+        for lane, lane_input in enumerate(inputs):
+            want = run_batch(compiled, inputs=[lane_input], mode="checked")[0]
+            assert asdict(results[lane]) == asdict(want), f"lane {lane}"
+        # the lanes really did take different paths
+        assert len({r.exit_code for r in results}) >= 3
+        assert len({r.cycles for r in results}) >= 2
+
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    def test_dynamic_error_lane_falls_back(self, machine_name):
+        compiled = _compile(OOB_SRC, machine_name)
+        g = compiled.symbols["g"]
+        inputs = [
+            ((g, _word(2)),),
+            ((g, _word(300_000)),),  # 4 * 300000 is past the 1 MiB memory
+            ((g, _word(3)),),
+        ]
+        got = run_batch(compiled, inputs=inputs, on_error="return")
+        want = run_batch(compiled, inputs=inputs, mode="fast", on_error="return")
+        for lane, (b, f) in enumerate(zip(got, want)):
+            if isinstance(f, SimError):
+                assert isinstance(b, SimError), f"lane {lane}"
+                assert str(b) == str(f), f"lane {lane}"
+            else:
+                assert asdict(b) == asdict(f), f"lane {lane}"
+        assert isinstance(got[1], SimError)
+        assert "out of range" in str(got[1])
+        assert got[0].exit_code == 33 and got[2].exit_code == 44
+
+    def test_on_error_raise_reraises_lowest_lane(self):
+        compiled = _compile(OOB_SRC, "m-tta-2")
+        g = compiled.symbols["g"]
+        inputs = [((g, _word(0)),), ((g, _word(400_000)),), ((g, _word(500_000)),)]
+        with pytest.raises(SimError, match="out of range") as exc_info:
+            run_batch(compiled, inputs=inputs)
+        # lowest failing lane's error, not a later lane's
+        want = run_batch(compiled, inputs=[inputs[1]], mode="fast", on_error="return")
+        assert str(exc_info.value) == str(want[0])
+
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    def test_cycle_budget_boundary_per_lane(self, machine_name):
+        """Per-lane cycle budgets stay exact through the vector engine:
+        the tightest passing budget is ``cycles - 1`` for every lane and
+        one less raises the same error the fast engine raises."""
+        compiled = _compile(BRANCH_SRC, machine_name)
+        g = compiled.symbols["g"]
+        inputs = [((g, _word(1)),), ((g, _word(8)),)]  # short and long lanes
+        refs = run_batch(compiled, inputs=inputs, mode="fast")
+        short, long_ = sorted(r.cycles for r in refs)
+        assert short < long_
+        for budget in (short - 2, short - 1, long_ - 2, long_ - 1):
+            got = run_batch(
+                compiled, inputs=inputs, max_cycles=budget, on_error="return"
+            )
+            want = run_batch(
+                compiled, inputs=inputs, mode="fast", max_cycles=budget,
+                on_error="return",
+            )
+            for lane, (b, f) in enumerate(zip(got, want)):
+                if isinstance(f, SimError):
+                    assert isinstance(b, SimError), (budget, lane)
+                    assert str(b) == str(f), (budget, lane)
+                else:
+                    assert asdict(b) == asdict(f), (budget, lane)
+        # sanity: the tight budgets really did split pass/fail per lane
+        mixed = run_batch(
+            compiled, inputs=inputs, max_cycles=long_ - 1, on_error="return"
+        )
+        assert not any(isinstance(r, SimError) for r in mixed)
+        mixed = run_batch(
+            compiled, inputs=inputs, max_cycles=short - 2, on_error="return"
+        )
+        assert all(isinstance(r, SimError) for r in mixed)
+
+    def test_obs_counters_track_fallback_and_dedup(self):
+        compiled = _compile(BRANCH_SRC, "m-tta-2")
+        g = compiled.symbols["g"]
+        inputs = [(), ((g, _word(1)),), ()]
+        with obs.tracing() as tracer:
+            run_batch(compiled, inputs=inputs)
+        counters = tracer.to_payload()["counters"]
+        assert counters["sim.batch.lanes"] == 3
+        assert counters["sim.batch.dedup_lanes"] == 1  # the repeated ()
+        assert counters["sim.batch.memory_promotions"] >= 1
+        # the two distinct keys take different branch directions, so the
+        # vector run must have split at least once
+        assert counters["sim.batch.restarts"] >= 1
+        assert counters["sim.batch.fallback_lanes"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the shared entry point: serial modes, scalar cores, run_compiled
+# ---------------------------------------------------------------------------
+
+
+class TestSharedEntryPoint:
+    @pytest.mark.parametrize("mode", ("checked", "fast", "turbo"))
+    def test_serial_modes_run_per_lane(self, mode):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        reference = asdict(run_compiled(compiled, mode=mode))
+        results = run_batch(compiled, lanes=2, mode=mode)
+        assert [asdict(r) for r in results] == [reference, reference]
+
+    def test_scalar_core_always_uses_its_single_engine(self):
+        compiled = _compile(FIB_SRC, "mblaze-3")
+        reference = asdict(run_compiled(compiled))
+        for mode in ("batch", "checked", "turbo"):
+            results = run_batch(compiled, lanes=2, mode=mode)
+            assert [asdict(r) for r in results] == [reference, reference]
+
+    def test_run_compiled_mode_batch(self):
+        compiled = _compile(FIB_SRC, "m-vliw-2")
+        reference = asdict(run_compiled(compiled, mode="checked"))
+        assert asdict(run_compiled(compiled, mode="batch")) == reference
+
+    def test_lane_count_edge_cases(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        assert run_batch(compiled, lanes=0) == []
+        assert len(run_batch(compiled)) == 1  # default: one lane
+        with pytest.raises(ValueError, match="lane count"):
+            run_batch(compiled, lanes=-1)
+        with pytest.raises(ValueError, match="disagrees"):
+            run_batch(compiled, inputs=[(), ()], lanes=3)
+
+    def test_rejects_unknown_mode_and_policy(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        with pytest.raises(ValueError, match="unknown simulation mode"):
+            run_batch(compiled, lanes=1, mode="warp")
+        with pytest.raises(ValueError, match="on_error"):
+            run_batch(compiled, lanes=1, on_error="ignore")
+
+    def test_numpy_is_gated_not_required_for_serial_modes(self, monkeypatch):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        monkeypatch.setattr(batch_mod, "np", None)
+        with pytest.raises(RuntimeError, match="numpy"):
+            batch_mod.run_batch(compiled, lanes=2)
+        results = batch_mod.run_batch(compiled, lanes=2, mode="fast")
+        assert len(results) == 2 and results[0].exit_code == 0

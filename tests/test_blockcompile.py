@@ -278,6 +278,17 @@ class TestProfiling:
         with pytest.raises(ValueError, match="no profile data"):
             collect_profile(sim, result)
 
+    def test_missing_engine_label_raises_not_mislabels(self):
+        """A hit vector without an engine label is a half-populated
+        simulator: refuse to profile rather than guess 'fast'."""
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        sim = TTASimulator(compiled.program, mode="fast")
+        sim.preload(compiled.data_init)
+        result = sim.run()
+        del sim._last_engine
+        with pytest.raises(ValueError, match="no profile data"):
+            collect_profile(sim, result)
+
     def test_profiled_run_rejects_scalar_and_checked(self):
         compiled = _compile(FIB_SRC, "mblaze-3")
         with pytest.raises(ValueError, match="TTA and VLIW cores only"):

@@ -56,6 +56,34 @@ class TestCLI:
         assert main(["run", minic_file, "-m", "mblaze-3", "--mode", "turbo"]) == 0
         assert "scalar (single engine; --mode ignored)" in capsys.readouterr().out
 
+    def test_run_mode_batch(self, minic_file, capsys):
+        assert main(
+            ["run", minic_file, "-m", "m-tta-1", "--mode", "batch", "--batch", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine    : batch (8 lanes)" in out
+        assert "exit code : 0" in out
+
+    def test_run_batch_flag_requires_batch_mode(self, minic_file, capsys):
+        assert main(["run", minic_file, "-m", "m-tta-1", "--batch", "4"]) == 2
+        assert "--batch requires --mode batch" in capsys.readouterr().err
+        assert main(
+            ["run", minic_file, "-m", "m-tta-1", "--verify", "--batch", "4"]
+        ) == 2
+        assert "--batch requires --mode batch" in capsys.readouterr().err
+
+    def test_run_batch_rejects_bad_lane_count(self, minic_file, capsys):
+        assert main(
+            ["run", minic_file, "-m", "m-tta-1", "--mode", "batch", "--batch", "0"]
+        ) == 2
+        assert "--batch must be >= 1" in capsys.readouterr().err
+
+    def test_run_profile_rejects_batch(self, minic_file, capsys):
+        assert main(
+            ["run", minic_file, "-m", "m-tta-2", "--mode", "batch", "--profile"]
+        ) == 2
+        assert "fast or turbo engine" in capsys.readouterr().err
+
     def test_run_profile(self, minic_file, capsys):
         assert main(
             ["run", minic_file, "-m", "m-tta-2", "--mode", "turbo", "--profile"]
@@ -140,6 +168,19 @@ class TestSweepCLI:
         assert "empty kernel subset" in capsys.readouterr().err
         assert main(["sweep", "--machines", ""]) == 2
         assert "empty machine subset" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_jobs(self, capsys):
+        for jobs in ("0", "-1"):
+            assert main(["sweep", "--kernels", "mips", "--jobs", jobs]) == 2
+            assert f"--jobs must be >= 1, got {jobs}" in capsys.readouterr().err
+
+    def test_sweep_mode_batch(self, tmp_path, capsys):
+        rc = main(
+            ["sweep", "--machines", "m-tta-1", "--kernels", "mips",
+             "--mode", "batch", "--no-cache", "-q"]
+        )
+        assert rc == 0
+        assert "cycles" in capsys.readouterr().out
 
 
 class TestRunErrorPaths:
@@ -232,7 +273,12 @@ class TestFuzzCLI:
     def test_fuzz_rejects_unknown_mode(self, capsys):
         assert main(["fuzz", "--count", "1", "--modes", "warp"]) == 2
         err = capsys.readouterr().err
-        assert "unknown mode 'warp'" in err and "checked, fast, turbo" in err
+        assert "unknown mode 'warp'" in err and "checked, fast, turbo, batch" in err
+
+    def test_fuzz_rejects_bad_jobs(self, capsys):
+        for jobs in ("0", "-3"):
+            assert main(["fuzz", "--count", "1", "--jobs", jobs]) == 2
+            assert f"--jobs must be >= 1, got {jobs}" in capsys.readouterr().err
 
     def test_fuzz_rejects_empty_subsets(self, capsys):
         assert main(["fuzz", "--count", "1", "--machines", ""]) == 2

@@ -43,7 +43,7 @@ def test_agreeing_case_runs_every_mode(machine):
     assert set(report.runs) == set(ALL_MODES)
     # cross-engine: every statistics field identical, not just exit codes
     baseline = report.runs["checked"]
-    for mode in ("fast", "turbo"):
+    for mode in ("fast", "turbo", "batch"):
         assert report.runs[mode] == baseline
 
 
@@ -81,6 +81,35 @@ def test_report_roundtrips_through_dict():
     # verdicts from another schema must be recomputed, not trusted
     payload["schema"] = REPORT_SCHEMA + 1
     assert FuzzCaseReport.from_dict(payload) is None
+
+
+def test_batch_mode_runs_perturbed_vector_pass():
+    """A kernel with initialised globals triggers the batched perturbed-
+    input differential pass; correct engines produce zero divergences."""
+    source = """
+int g[4] = {7, 3, 9, 1};
+int main() {
+  int s = 0;
+  for (int i = 0; i < 8; i = i + 1) { s = s + g[i % 4] * i; }
+  return s & 63;
+}
+"""
+    report = run_case(_case("m-tta-2", source=source))
+    assert report.ok, [d.summary() for d in report.divergences]
+    assert report.runs["batch"] == report.runs["checked"]
+
+
+def test_infrastructure_errors_propagate_not_classified(monkeypatch):
+    """Harness faults (OOM, I/O) must escape run_case so the executor
+    records a TaskError, never be laundered into a 'crash' divergence."""
+    import repro.sim as sim_mod
+
+    def exploding(*args, **kwargs):
+        raise MemoryError("simulated harness OOM")
+
+    monkeypatch.setattr(sim_mod, "run_compiled", exploding)
+    with pytest.raises(MemoryError, match="simulated harness OOM"):
+        run_case(_case("m-tta-2", modes=("checked",)))
 
 
 def test_cross_engine_divergence_is_reported_without_oracle_help(monkeypatch):

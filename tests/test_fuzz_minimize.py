@@ -82,3 +82,21 @@ def test_minimizer_rejects_crashing_candidates():
     # minimizer still terminates and returns a failing program
     out = minimize_kernel(kernel.ast, fragile)
     assert render_kernel(out) == baseline
+
+
+def test_minimizer_propagates_infrastructure_errors():
+    """A broken harness (bad corpus dir, pickle failure, ...) must abort
+    the minimization loudly, never masquerade as "no longer reproduces"
+    (which would silently accept a meaningless shrunken candidate)."""
+    import pytest
+
+    kernel = generate_kernel(0, 5)
+    baseline = render_kernel(kernel.ast)
+
+    def broken_harness(source: str) -> bool:
+        if source != baseline:
+            raise OSError("corpus dir vanished")
+        return True
+
+    with pytest.raises(OSError, match="corpus dir vanished"):
+        minimize_kernel(kernel.ast, broken_harness)

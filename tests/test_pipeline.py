@@ -239,6 +239,30 @@ class TestArtifactStore:
         leftovers = [p for p in tmp_path.rglob("*.tmp")]
         assert leftovers == []
 
+    def test_stale_tmp_files_collected_on_init(self, tmp_path):
+        """A writer killed between mkstemp and os.replace leaks its .tmp
+        file; store init removes old orphans but spares fresh ones (a
+        concurrent writer may still be mid-flight)."""
+        import os
+
+        store = ArtifactStore(tmp_path)
+        key = "ab" * 32
+        store.store_result(key, RESULT)
+        entry_dir = store.result_path(key).parent
+        stale = entry_dir / f".{key}.json.xyz123.tmp"
+        stale.write_bytes(b"half-written")
+        os.utime(stale, (0, 0))  # ancient mtime: well past the threshold
+        fresh = entry_dir / f".{key}.json.abc456.tmp"
+        fresh.write_bytes(b"mid-flight")
+
+        reopened = ArtifactStore(tmp_path)
+        assert not stale.exists(), "stale temp file must be collected"
+        assert fresh.exists(), "fresh temp file must be spared"
+        assert reopened.stats.stale_tmp_removed == 1
+        # the real entry survives and temp files never count as entries
+        assert reopened.load_result(key) == RESULT
+        assert reopened.entry_count()["results"] == 1
+
     def test_clear_and_entry_count(self, tmp_path):
         store = ArtifactStore(tmp_path)
         store.store_result("aa" * 32, RESULT)

@@ -81,10 +81,29 @@ class TestDataMemory:
         with pytest.raises(SimError):
             mem.store("stw", -4, 1)
 
+    def test_negative_address_error_reports_premask_value(self):
+        # The error carries the address the program produced (-0x4), not
+        # the 32-bit wrapped form (0xfffffffc) -- the raw value is what a
+        # user can grep for in their source.
+        mem = DataMemory(64)
+        with pytest.raises(SimError, match=r"-0x4\+4"):
+            mem.load("ldw", -4)
+        with pytest.raises(SimError, match=r"-0x8\+2"):
+            mem.store("sth", -8, 1)
+        with pytest.raises(SimError, match=r"-0x1\+4"):
+            mem.preload(-1, b"\x00\x00\x00\x00")
+
     def test_preload_bounds_checked(self):
         mem = DataMemory(8)
         with pytest.raises(SimError):
             mem.preload(6, b"\x00\x00\x00\x00")
+
+    def test_preload_uses_same_address_normalization(self):
+        # preload wraps addresses through the same path as load/store, so
+        # a value just past 2**32 lands back inside the memory image.
+        mem = DataMemory(16)
+        mem.preload((1 << 32) + 8, b"\x2a\x00\x00\x00")
+        assert mem.load("ldw", 8) == 42
 
     def test_store_masks_wide_values(self):
         # Values wider than the access size are truncated, and values wider
@@ -112,6 +131,34 @@ class TestDataMemory:
             mem.load("ldx", 0)
         with pytest.raises(SimError):
             mem.store("stx", 0, 1)
+
+
+class TestNegativeAddressAcrossSimulators:
+    """A negative array index wraps through 32-bit address arithmetic to
+    an address far beyond the data memory; every simulator must reject
+    it with the out-of-range error, never read a wrapped-around byte."""
+
+    NEG_SRC = """
+    int g[2] = {1, 2};
+    int main(void) { int i = -300000; return g[i]; }
+    """
+
+    @pytest.mark.parametrize("machine_name", ["m-tta-2", "m-vliw-2", "mblaze-3"])
+    def test_negative_index_out_of_range(self, machine_name):
+        compiled = compile_for_machine(
+            compile_source(self.NEG_SRC), build_machine(machine_name)
+        )
+        with pytest.raises(SimError, match="out of range"):
+            run_compiled(compiled)
+
+    @pytest.mark.parametrize("mode", ["checked", "fast", "turbo"])
+    def test_all_engines_agree_on_the_error(self, mode):
+        for machine_name in ("m-tta-2", "m-vliw-2"):
+            compiled = compile_for_machine(
+                compile_source(self.NEG_SRC), build_machine(machine_name)
+            )
+            with pytest.raises(SimError, match="out of range"):
+                run_compiled(compiled, mode=mode)
 
 
 class TestScalarTiming:
