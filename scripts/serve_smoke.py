@@ -1,0 +1,102 @@
+"""CI smoke test for ``repro serve``.
+
+Starts the service exactly as a user would (``python -m repro serve``
+on an ephemeral port), drives one of every request shape through the
+bundled client — compile, run, repeat-run (must be a store hit),
+batch run, sweep, stats — and shuts it down with SIGTERM, asserting a
+clean graceful drain.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as store_dir:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env["REPRO_CACHE_DIR"] = store_dir
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--jobs", "2"],
+            cwd=REPO, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stderr.readline()
+            assert "serving on http://" in line, f"bad banner: {line!r}"
+            port = int(line.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+            print(f"server up on port {port}")
+
+            with ServeClient("127.0.0.1", port, timeout=600) as client:
+                assert client.healthz()["status"] == "ok"
+                print("healthz ok")
+
+                compiled = client.compile("m-tta-2", kernel="mips")
+                assert compiled["result"]["instruction_count"] > 0
+                print(f"compile ok: {compiled['result']['instruction_count']} "
+                      f"instructions")
+
+                first = client.run("m-tta-2", kernel="mips", mode="fast")
+                assert first["result"]["exit_code"] == 0
+                assert first["cached"] is False
+                print(f"run ok: {first['result']['cycles']} cycles "
+                      f"(computed)")
+
+                again = client.run("m-tta-2", kernel="mips", mode="fast")
+                assert again["cached"] is True, "second run missed the store"
+                assert again["result"] == first["result"], \
+                    "cached result differs from computed result"
+                print("repeat run ok: served from the artifact store, "
+                      "byte-identical")
+
+                batch = client.run("m-tta-2", kernel="mips", mode="batch",
+                                   lanes=4)
+                assert len(batch["results"]) == 4
+                assert all(r["cycles"] == first["result"]["cycles"]
+                           for r in batch["results"])
+                print("batch run ok: 4 lanes, all lanes match the "
+                      "fast-mode cycle count")
+
+                swept = client.sweep(machines=["m-tta-2"],
+                                     kernels=["mips", "motion"], wait=True)
+                assert swept["state"] == "done"
+                assert swept["result"]["stats"]["total"] == 2
+                assert not swept["result"]["errors"]
+                print("sweep ok: 2 pairs")
+
+                stats = client.stats()
+                dedup = stats["dedup"]
+                assert dedup["cache_hits"] >= 1, dedup
+                assert dedup["executed"] >= 3, dedup
+                assert stats["store"]["corrupt_dropped"] == 0
+                assert stats["queue"]["depth"] == 0
+                print(f"stats ok: {dedup}")
+
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=120)
+        except BaseException:
+            proc.kill()
+            raise
+        assert proc.returncode == 0, f"exit {proc.returncode}: {stderr}"
+        assert "draining..." in stderr and "drained:" in stderr, stderr
+        print("graceful drain ok")
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,10 @@ Commands:
   ``fuzz/corpus/`` reproducers (``--seed``, ``--count``, ``--machines``,
   ``--modes``, ``--jobs``, ``--time-budget``, ``--smoke``, ``--json``).
 * ``synth MACHINE`` -- print the analytic synthesis report.
+* ``serve`` -- HTTP compile-and-simulate service with bounded queueing,
+  store-backed request dedup and sharded worker processes (``--host``,
+  ``--port``, ``--jobs``, ``--queue-limit``, ``--job-timeout``,
+  ``--drain-grace``; SIGINT/SIGTERM drain gracefully).
 """
 
 from __future__ import annotations
@@ -501,6 +505,67 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.pipeline import ArtifactStore, default_store
+    from repro.serve import ReproServer
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.queue_limit < 1:
+        print(f"error: --queue-limit must be >= 1, got {args.queue_limit}",
+              file=sys.stderr)
+        return 2
+    if args.job_timeout <= 0:
+        print(f"error: --job-timeout must be positive, got {args.job_timeout}",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.port <= 65535:
+        print(f"error: --port must be in 0..65535, got {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.no_cache:
+        store = None
+    elif args.cache_dir:
+        store = ArtifactStore(args.cache_dir)
+    else:
+        store = default_store()
+
+    async def _serve_main() -> int:
+        server = ReproServer(
+            args.host,
+            args.port,
+            jobs=args.jobs,
+            queue_limit=args.queue_limit,
+            job_timeout=args.job_timeout,
+            max_body=args.max_body,
+            drain_grace=args.drain_grace,
+            store=store,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"serving on http://{host}:{port} "
+              f"(jobs={args.jobs}, queue-limit={args.queue_limit}, "
+              f"store={'disabled' if store is None else store.root})",
+              file=sys.stderr, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining...", file=sys.stderr, flush=True)
+        summary = await server.drain()
+        print(f"drained: {summary['completed']} job(s) completed, "
+              f"{summary['terminated']} terminated",
+              file=sys.stderr, flush=True)
+        return 0
+
+    return asyncio.run(_serve_main())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Transport-Triggered Soft Cores toolkit"
@@ -702,6 +767,41 @@ def main(argv: list[str] | None = None) -> int:
     p_syn = sub.add_parser("synth", help="analytic synthesis report")
     p_syn.add_argument("machine", choices=preset_names())
     p_syn.set_defaults(fn=_cmd_synth)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP compile-and-simulate service",
+        description="Serve the pipeline over HTTP/JSON: POST /v1/compile, "
+        "/v1/run (mode=checked/fast/turbo/batch), /v1/sweep; GET /healthz, "
+        "/v1/stats, /v1/jobs/<id>. Identical in-flight requests coalesce "
+        "and finished results are served from the artifact store; a full "
+        "queue answers 429 with Retry-After. SIGINT/SIGTERM drain "
+        "gracefully (queued and running jobs finish, up to --drain-grace).",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="bind port; 0 picks a free port (default 8321)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker shards / max concurrent jobs (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="max queued jobs before 429 (default 64)")
+    p_serve.add_argument("--job-timeout", type=float, default=300.0,
+                         help="per-job wall-clock budget in seconds "
+                         "(default 300)")
+    p_serve.add_argument("--max-body", type=int, default=1 << 20,
+                         help="max request body bytes before 413 "
+                         "(default 1048576)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds to let in-flight jobs finish on "
+                         "shutdown (default 30)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="artifact store root (default: "
+                         "$REPRO_CACHE_DIR or the user cache dir)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the artifact store (no dedup "
+                         "across requests)")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -50,7 +50,7 @@ from repro.fuzz.corpus import (
     load_corpus,
     save_reproducer,
 )
-from repro.fuzz.harness import FuzzConfig, FuzzReport, run_fuzz
+from repro.fuzz.harness import FUZZ_JSON_SCHEMA, FuzzConfig, FuzzReport, run_fuzz
 
 __all__ = [
     "ALL_MODES",
@@ -59,6 +59,7 @@ __all__ = [
     "FuzzCase",
     "FuzzCaseReport",
     "FuzzConfig",
+    "FUZZ_JSON_SCHEMA",
     "FuzzReport",
     "GENERATOR_VERSION",
     "GeneratedKernel",

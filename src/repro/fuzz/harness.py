@@ -67,6 +67,12 @@ ProgressFn = Callable[[int, int, FuzzCase, object], None]
 #: full 20M-step campaign budget on every such candidate.
 MINIMIZE_ORACLE_STEPS = 500_000
 
+#: version of the ``repro fuzz --json`` payload (``FuzzReport.to_dict``).
+#: Emitted as ``schema_version`` so consumers — the compile-and-simulate
+#: service, future remote fuzz workers — can reject payloads from a
+#: mismatched toolchain.  Bump on any key/meaning change.
+FUZZ_JSON_SCHEMA = 1
+
 
 @dataclass
 class FuzzConfig:
@@ -148,6 +154,7 @@ class FuzzReport:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": FUZZ_JSON_SCHEMA,
             "seed": self.seed,
             "count": self.count,
             "machines": list(self.machines),

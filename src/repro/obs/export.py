@@ -56,13 +56,18 @@ def to_chrome_trace(payloads: list[dict]) -> dict:
     base = min(origins)
     for pid, payload in enumerate(merged["payloads"], start=1):
         offset = payload["origin_epoch_us"] - base
+        process_args = {"name": payload["process"]}
+        if payload.get("request_id"):
+            # request correlation: the serve layer stamps each worker
+            # tracer with the originating HTTP request id
+            process_args["request_id"] = payload["request_id"]
         events.append(
             {
                 "name": "process_name",
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": payload["process"]},
+                "args": process_args,
             }
         )
         for rec in payload["spans"]:

@@ -192,6 +192,10 @@ class Tracer:
     Attributes:
         process: display name of the producing context (merged timelines
             use it as the Chrome-trace process name).
+        request_id: optional request correlation id.  The serve layer
+            stamps the originating HTTP request's id here so a worker's
+            payload can be joined back to the request that caused it
+            across the process boundary; exporters carry it through.
         spans: completed spans, in *completion* order (nested spans
             finish before their parents; depth + timestamps encode the
             hierarchy).
@@ -199,8 +203,9 @@ class Tracer:
         gauges: name -> last written value.
     """
 
-    def __init__(self, process: str | None = None):
+    def __init__(self, process: str | None = None, request_id: str | None = None):
         self.process = process or f"pid-{os.getpid()}"
+        self.request_id = request_id
         self.spans: list[dict] = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
@@ -224,7 +229,7 @@ class Tracer:
 
     def to_payload(self) -> dict:
         """A plain-dict, JSON/pickle-safe snapshot of everything recorded."""
-        return {
+        payload = {
             "schema": PAYLOAD_SCHEMA,
             "process": self.process,
             "origin_epoch_us": round(self._origin_epoch_us, 1),
@@ -232,6 +237,9 @@ class Tracer:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
         }
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
 
     @staticmethod
     def validate_payload(payload: dict) -> dict:
@@ -250,4 +258,6 @@ class Tracer:
         ):
             if not isinstance(payload.get(key), kind):
                 raise ValueError(f"trace payload field {key!r} malformed")
+        if "request_id" in payload and not isinstance(payload["request_id"], str):
+            raise ValueError("trace payload field 'request_id' malformed")
         return payload

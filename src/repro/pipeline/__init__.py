@@ -33,6 +33,7 @@ from repro.pipeline.executor import (
 from repro.pipeline.fingerprint import (
     describe_machine,
     fingerprint,
+    job_fingerprint,
     task_fingerprint,
     toolchain_fingerprint,
 )
@@ -45,6 +46,7 @@ from repro.pipeline.store import (
 )
 from repro.pipeline.sweep import build_tasks, compile_cached, parse_subset, sweep
 from repro.pipeline.types import (
+    SWEEP_JSON_SCHEMA,
     EvalResult,
     SweepFailure,
     SweepOutcome,
@@ -58,6 +60,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "EvalResult",
     "NO_CACHE_ENV",
+    "SWEEP_JSON_SCHEMA",
     "SweepFailure",
     "SweepOutcome",
     "SweepStats",
@@ -71,6 +74,7 @@ __all__ = [
     "describe_machine",
     "execute_task",
     "fingerprint",
+    "job_fingerprint",
     "parse_subset",
     "result_extras",
     "run_tasks",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import functools
 import multiprocessing
 import os
+import time
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -49,11 +50,15 @@ class TracedOutcome:
 
     ``run_tasks(..., trace=True)`` yields these instead of bare
     outcomes; the payload crosses the process boundary as a plain dict
-    (JSON/pickle-safe) alongside the outcome it explains.
+    (JSON/pickle-safe) alongside the outcome it explains.  ``wall_ms``
+    is the wall-clock time of the final attempt (queue/pool overhead
+    excluded), so latency consumers — the service's ``/v1/stats``
+    percentiles — need no side channel.
     """
 
     outcome: object
     trace: dict | None
+    wall_ms: float | None = None
 
 
 def execute_task(task: SweepTask) -> EvalResult:
@@ -122,27 +127,47 @@ def _attempt(
     inherited/ambient tracer is parked for the duration, so serial and
     forked execution behave identically) and the return value is a
     :class:`TracedOutcome` carrying the span/counter payload.
+
+    Either way the attempt's wall-clock time is surfaced: as
+    ``TracedOutcome.wall_ms`` and, for :class:`EvalResult` outcomes, as
+    the transient ``extras["_wall_ms"]`` entry.  Underscore-prefixed
+    extras are process-local observability — they never reach
+    ``EvalResult.to_dict`` and therefore neither the artifact store nor
+    ``--json`` payloads, which stay byte-identical.
     """
     index, task = indexed
     if not trace:
+        start = time.perf_counter()
         try:
-            return index, worker(task)
+            outcome: object = worker(task)
         except BaseException as exc:  # noqa: BLE001 - isolation is the point
-            return index, _task_error(task, exc)
+            outcome = _task_error(task, exc)
+        _attach_wall_ms(outcome, time.perf_counter() - start)
+        return index, outcome
     ambient = obs.disable()
     tracer = obs.enable(
         obs.Tracer(process=f"worker pid={os.getpid()} {task.machine}/{task.kernel}")
     )
+    start = time.perf_counter()
     try:
         with tracer.span("task.execute", machine=task.machine, kernel=task.kernel):
-            outcome: object = worker(task)
+            outcome = worker(task)
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
         outcome = _task_error(task, exc)
     finally:
+        wall_ms = (time.perf_counter() - start) * 1e3
         obs.disable()
         if ambient is not None:
             obs.enable(ambient)
-    return index, TracedOutcome(outcome, tracer.to_payload())
+    _attach_wall_ms(outcome, wall_ms / 1e3)
+    return index, TracedOutcome(outcome, tracer.to_payload(), round(wall_ms, 3))
+
+
+def _attach_wall_ms(outcome: object, seconds: float) -> None:
+    """Record the attempt's wall time on an ``extras``-bearing outcome."""
+    extras = getattr(outcome, "extras", None)
+    if isinstance(extras, dict):
+        extras["_wall_ms"] = round(seconds * 1e3, 3)
 
 
 def _task_error(task: SweepTask, exc: BaseException) -> TaskError:
@@ -186,6 +211,7 @@ def run_tasks(
         raise ValueError(f"retries must be >= 0, got {retries}")
     outcomes: list[EvalResult | TaskError | None] = [None] * len(tasks)
     traces: list[dict | None] = [None] * len(tasks)
+    walls: list[float | None] = [None] * len(tasks)
     attempts = [0] * len(tasks)
     pending = list(enumerate(tasks))
     done = 0
@@ -194,6 +220,7 @@ def run_tasks(
         for index, outcome in _iter_round(pending, jobs, worker, trace):
             if isinstance(outcome, TracedOutcome):
                 traces[index] = outcome.trace
+                walls[index] = outcome.wall_ms
                 outcome = outcome.outcome
             attempts[index] += 1
             if isinstance(outcome, TaskError):
@@ -216,8 +243,8 @@ def run_tasks(
     assert all(o is not None for o in outcomes)
     if trace:
         return [
-            TracedOutcome(outcome, payload)
-            for outcome, payload in zip(outcomes, traces)
+            TracedOutcome(outcome, payload, wall_ms)
+            for outcome, payload, wall_ms in zip(outcomes, traces, walls)
         ]
     return outcomes  # type: ignore[return-value]
 

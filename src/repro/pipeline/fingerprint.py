@@ -147,6 +147,38 @@ def fingerprint(
     return hashlib.sha256(_canonical_json(payload)).hexdigest()
 
 
+def job_fingerprint(
+    kind: str,
+    fields: dict,
+    *,
+    toolchain: str | None = None,
+    engine_version: int | None = None,
+) -> str:
+    """Hex SHA-256 key for a *service job* that is not a bare (machine,
+    kernel-source, flags) measurement — e.g. a batched ``/v1/run`` with
+    per-lane inputs, or a sweep request identified for in-flight
+    coalescing.
+
+    *fields* must be a canonical, JSON-serialisable description of
+    everything that can change the job's outcome (typically including a
+    :func:`fingerprint` of the underlying measurement).  The key obeys
+    the same toolchain-digest + engine-version contract as task
+    fingerprints, so a code or engine-semantics change retires every
+    served artifact the old code produced.
+    """
+    if engine_version is None:
+        from repro.sim.blockcompile import SIM_ENGINE_VERSION
+
+        engine_version = SIM_ENGINE_VERSION
+    payload = {
+        "job": kind,
+        "fields": fields,
+        "toolchain": toolchain if toolchain is not None else toolchain_fingerprint(),
+        "engine": int(engine_version),
+    }
+    return hashlib.sha256(_canonical_json(payload)).hexdigest()
+
+
 def task_fingerprint(
     task, *, toolchain: str | None = None, engine_version: int | None = None
 ) -> str:

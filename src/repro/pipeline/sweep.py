@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
+from dataclasses import replace
 
 from repro import obs
 from repro.pipeline.executor import ProgressFn, TracedOutcome, run_tasks
@@ -178,6 +179,14 @@ def sweep(
                 if result.trace is not None:
                     outcome.traces.append(result.trace)
                 result = result.outcome
+            if isinstance(result, EvalResult):
+                # drop transient executor extras (``_wall_ms``): sweep
+                # results are the deterministic products, identical
+                # whether computed here or served from the store
+                result = replace(result, extras={
+                    k: v for k, v in result.extras.items()
+                    if not k.startswith("_")
+                })
             fresh[task.pair] = result
             if isinstance(result, EvalResult) and active_store is not None:
                 with obs.span("sweep.writeback"):

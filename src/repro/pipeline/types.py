@@ -22,6 +22,13 @@ from dataclasses import asdict, dataclass, field
 #: (2: added the ``extras`` counter dict — RF traffic, transport stats)
 RESULT_SCHEMA = 2
 
+#: version of the ``repro sweep --json`` payload (``SweepOutcome.to_dict``).
+#: Emitted as ``schema_version`` so consumers — the compile-and-simulate
+#: service, future remote workers — can reject payloads from a
+#: mismatched toolchain instead of misparsing them.  Bump on any
+#: key/meaning change of the JSON layout.
+SWEEP_JSON_SCHEMA = 1
+
 
 @dataclass(frozen=True)
 class EvalResult:
@@ -56,6 +63,14 @@ class EvalResult:
 
     def to_dict(self) -> dict:
         payload = asdict(self)
+        # Underscore-prefixed extras are process-local observability
+        # (e.g. the executor's ``_wall_ms`` attempt timing): real wall
+        # clock is nondeterministic, so it must never reach the artifact
+        # store or a --json payload — those stay byte-identical across
+        # serial/parallel/cached runs.
+        payload["extras"] = {
+            k: v for k, v in payload["extras"].items() if not k.startswith("_")
+        }
         payload["schema"] = RESULT_SCHEMA
         return payload
 
@@ -76,7 +91,11 @@ class EvalResult:
             instruction_count=int(payload["instruction_count"]),
             instruction_width=int(payload["instruction_width"]),
             fmax_mhz=float(payload["fmax_mhz"]),
-            extras={str(k): int(v) for k, v in extras.items()},
+            extras={
+                str(k): int(v)
+                for k, v in extras.items()
+                if not str(k).startswith("_")
+            },
         )
 
 
@@ -175,6 +194,7 @@ class SweepOutcome:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": SWEEP_JSON_SCHEMA,
             "results": [r.to_dict() for r in self.results.values()],
             "errors": [e.to_dict() for e in self.errors.values()],
             "stats": self.stats.to_dict(),

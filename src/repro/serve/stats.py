@@ -1,0 +1,131 @@
+"""Service metrics: request/latency accounting behind ``GET /v1/stats``.
+
+Everything here is mutated from the event-loop thread only (the
+connection handlers and the job manager's shard coroutines), so no
+locking is needed.  Latencies go into bounded reservoirs — the last
+``RESERVOIR_SIZE`` observations per endpoint — and percentiles are
+computed on demand by nearest-rank over a sorted copy, which is exact
+for the reservoir's contents and plenty for SLO dashboards.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+#: per-endpoint latency samples retained for percentile queries
+RESERVOIR_SIZE = 2048
+
+#: percentile points reported by ``/v1/stats``
+PERCENTILES = (50, 90, 99)
+
+
+class LatencyReservoir:
+    """Bounded sample of recent latencies (milliseconds)."""
+
+    def __init__(self, size: int = RESERVOIR_SIZE):
+        self._samples: deque[float] = deque(maxlen=size)
+        self.count = 0
+        self.total_ms = 0.0
+
+    def record(self, ms: float) -> None:
+        self._samples.append(ms)
+        self.count += 1
+        self.total_ms += ms
+
+    def summary(self) -> dict:
+        """Percentiles over the retained window plus lifetime count/mean."""
+        window = sorted(self._samples)
+        out: dict = {
+            "count": self.count,
+            "mean_ms": round(self.total_ms / self.count, 3) if self.count else 0.0,
+        }
+        for pct in PERCENTILES:
+            if window:
+                rank = max(0, -(-pct * len(window) // 100) - 1)  # nearest-rank
+                out[f"p{pct}_ms"] = round(window[rank], 3)
+            else:
+                out[f"p{pct}_ms"] = 0.0
+        out["max_ms"] = round(window[-1], 3) if window else 0.0
+        return out
+
+
+class EndpointStats:
+    """Request count, error count and latency reservoir for one route."""
+
+    def __init__(self):
+        self.count = 0
+        self.errors = 0
+        self.latency = LatencyReservoir()
+
+    def record(self, status: int, seconds: float) -> None:
+        self.count += 1
+        if status >= 400:
+            self.errors += 1
+        self.latency.record(seconds * 1e3)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "latency_ms": self.latency.summary(),
+        }
+
+
+class ServeMetrics:
+    """All counters the service exposes, owned by the event loop."""
+
+    def __init__(self):
+        self.started = time.monotonic()
+        self.endpoints: dict[str, EndpointStats] = {}
+        # request dedup accounting (the acceptance contract: N identical
+        # concurrent requests -> executed grows by exactly 1)
+        self.coalesced = 0
+        self.cache_hits = 0
+        self.executed = 0
+        # job terminal states
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.jobs_timeout = 0
+        # job execution wall time (successful runs), for /v1/stats
+        self.job_latency = LatencyReservoir()
+
+    def record_request(self, route: str, status: int, seconds: float) -> None:
+        stats = self.endpoints.get(route)
+        if stats is None:
+            stats = self.endpoints[route] = EndpointStats()
+        stats.record(status, seconds)
+
+    def record_job(self, state: str, wall_s: float | None) -> None:
+        field = {
+            "done": "jobs_completed",
+            "failed": "jobs_failed",
+            "cancelled": "jobs_cancelled",
+            "timeout": "jobs_timeout",
+        }.get(state)
+        if field is not None:
+            setattr(self, field, getattr(self, field) + 1)
+        if state == "done" and wall_s is not None:
+            self.job_latency.record(wall_s * 1e3)
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "endpoints": {
+                route: stats.summary()
+                for route, stats in sorted(self.endpoints.items())
+            },
+            "dedup": {
+                "coalesced": self.coalesced,
+                "cache_hits": self.cache_hits,
+                "executed": self.executed,
+            },
+            "jobs": {
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "cancelled": self.jobs_cancelled,
+                "timeout": self.jobs_timeout,
+                "execution_ms": self.job_latency.summary(),
+            },
+        }

@@ -480,3 +480,175 @@ class TestRunnerCompat:
             outcome.raise_on_error()
         with pytest.raises(SweepFailure):
             outcome.raise_on_error()
+
+
+def _hammer_json_writer(root, key, tag, rounds):
+    """Child-process worker: repeatedly overwrite one json entry."""
+    store = ArtifactStore(root)
+    for round_no in range(rounds):
+        store.store_json(key, {"tag": tag, "round": round_no,
+                               "payload": list(range(32))})
+    return tag
+
+
+class TestStoreConcurrentWriters:
+    """Many writers hammering one key must never expose a torn or
+    corrupt entry to readers: every load during the storm returns one of
+    the exact payloads some writer wrote (atomic tmp+rename, last write
+    wins), and the self-verifying headers never fire."""
+
+    KEY = "ab" * 32
+
+    def test_threaded_writers_readers_see_only_valid_results(self, tmp_path):
+        import threading
+
+        writers, rounds = 8, 25
+        stop = threading.Event()
+        write_errors: list[BaseException] = []
+        seen: list[EvalResult] = []
+        read_errors: list[BaseException] = []
+
+        def write(tag: int) -> None:
+            store = ArtifactStore(tmp_path)
+            try:
+                for round_no in range(rounds):
+                    store.store_result(
+                        self.KEY, replace(RESULT, cycles=1000 + tag,
+                                          extras={"moves": round_no}),
+                    )
+            except BaseException as exc:  # pragma: no cover
+                write_errors.append(exc)
+
+        def read() -> None:
+            store = ArtifactStore(tmp_path)
+            try:
+                while not stop.is_set():
+                    result = store.load_result(self.KEY)
+                    if result is not None:
+                        seen.append(result)
+                assert store.stats.corrupt_dropped == 0
+            except BaseException as exc:  # pragma: no cover
+                read_errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(tag,))
+                   for tag in range(writers)]
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        for thread in readers + threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not write_errors and not read_errors
+        assert seen  # the readers actually observed the storm
+        valid_cycles = {1000 + tag for tag in range(writers)}
+        for result in seen:
+            # each observation is exactly one writer's payload, whole
+            assert result.cycles in valid_cycles
+            assert set(result.extras) == {"moves"}
+            assert result.machine == RESULT.machine
+        # the settled entry is one of the final-round payloads
+        final = ArtifactStore(tmp_path).load_result(self.KEY)
+        assert final.cycles in valid_cycles
+        assert final.extras["moves"] == rounds - 1
+
+    def test_process_writers_last_write_wins_no_corruption(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        procs, rounds = 4, 12
+        with ctx.Pool(processes=procs) as pool:
+            async_results = [
+                pool.apply_async(
+                    _hammer_json_writer, (str(tmp_path), self.KEY, tag, rounds)
+                )
+                for tag in range(procs)
+            ]
+            reader = ArtifactStore(tmp_path)
+            observed = 0
+            while not all(r.ready() for r in async_results):
+                payload = reader.load_json(self.KEY)
+                if payload is not None:
+                    observed += 1
+                    assert payload["tag"] in range(procs)
+                    assert payload["payload"] == list(range(32))
+            tags = [r.get(timeout=30) for r in async_results]
+        assert sorted(tags) == list(range(procs))
+        assert reader.stats.corrupt_dropped == 0
+        final = reader.load_json(self.KEY)
+        assert final["tag"] in range(procs)
+        assert final["round"] == rounds - 1
+
+
+class TestTaskWallTime:
+    """``run_tasks`` surfaces per-task wall time without perturbing any
+    persisted or serialised payload."""
+
+    def _task(self) -> SweepTask:
+        return SweepTask(machine="m-tta-1", kernel="walltime",
+                         source=GOOD_SOURCE)
+
+    def test_wall_ms_in_extras_but_not_in_to_dict(self):
+        outcome = run_tasks([self._task()])[0]
+        assert isinstance(outcome, EvalResult)
+        assert outcome.extras["_wall_ms"] > 0
+        serialised = outcome.to_dict()
+        assert "_wall_ms" not in serialised["extras"]
+        # round-trip drops the transient key entirely
+        restored = EvalResult.from_dict(
+            json.loads(json.dumps(outcome.to_dict()))
+        )
+        assert "_wall_ms" not in restored.extras
+        assert restored.cycles == outcome.cycles
+
+    def test_traced_outcome_carries_wall_ms(self):
+        from repro.pipeline.executor import TracedOutcome
+
+        traced = run_tasks([self._task()], trace=True)[0]
+        assert isinstance(traced, TracedOutcome)
+        assert traced.wall_ms is not None and traced.wall_ms > 0
+        assert traced.outcome.extras["_wall_ms"] > 0
+        assert isinstance(traced.trace, dict)
+
+    def test_store_payload_unaffected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        outcome = run_tasks([self._task()])[0]
+        key = "cd" * 32
+        store.store_result(key, outcome)
+        loaded = store.load_result(key)
+        assert "_wall_ms" not in loaded.extras
+        assert loaded.cycles == outcome.cycles
+
+    def test_failed_task_wall_time_not_required(self, tmp_path):
+        outcome = sweep(
+            machines=("m-tta-1",),
+            sources={"syntax": COMPILE_ERROR},
+            store=ArtifactStore(tmp_path),
+            retries=0,
+        )
+        error = outcome.errors[("m-tta-1", "syntax")]
+        assert isinstance(error, TaskError)  # no extras, no crash
+
+
+class TestJsonSchemaVersions:
+    """``--json`` documents carry an explicit schema_version field."""
+
+    def test_sweep_to_dict_has_schema_version(self, tmp_path):
+        from repro.pipeline import SWEEP_JSON_SCHEMA
+
+        outcome = sweep(
+            machines=("m-tta-1",), kernels=("mips",),
+            store=ArtifactStore(tmp_path),
+        )
+        doc = outcome.to_dict()
+        assert doc["schema_version"] == SWEEP_JSON_SCHEMA == 1
+        assert list(doc)[0] == "schema_version"
+
+    def test_fuzz_report_to_dict_has_schema_version(self):
+        from repro.fuzz import FUZZ_JSON_SCHEMA
+        from repro.fuzz.harness import FuzzReport
+
+        doc = FuzzReport(seed=7, count=0).to_dict()
+        assert doc["schema_version"] == FUZZ_JSON_SCHEMA == 1
+        assert list(doc)[0] == "schema_version"
