@@ -63,11 +63,12 @@ def main() -> int:
     emit("model, not the authors' Vivado/Zynq testbed and CHStone C sources —")
     emit("see DESIGN.md §3); the comparisons the paper draws are.")
     emit()
-    emit("Every number below is engine-independent: the checked, fast and")
-    emit("turbo simulation engines are bit- and cycle-exact with each other")
-    emit("(enforced by the differential suites in tests/test_predecode.py")
-    emit("and tests/test_blockcompile.py), so results cached by one engine")
-    emit("are valid for all of them.")
+    emit("Every number below is engine-independent: the checked, fast,")
+    emit("turbo and native simulation engines are bit- and cycle-exact with")
+    emit("each other (enforced by the differential suites in")
+    emit("tests/test_predecode.py, tests/test_blockcompile.py and")
+    emit("tests/test_native.py), so results cached by one engine are valid")
+    emit("for all of them.")
     emit()
 
     # ---- Table II -----------------------------------------------------

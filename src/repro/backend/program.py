@@ -100,6 +100,14 @@ class Program:
         """Drop cached pre-decoded forms (call after mutating ``instrs``)."""
         self.predecode_cache.clear()
 
+    def __getstate__(self):
+        # The predecode cache holds unpicklable engine artefacts (compiled
+        # code objects, the native engine's FFI handles); it is a lazily
+        # rebuilt derivative, so pickling drops it.
+        state = self.__dict__.copy()
+        state["predecode_cache"] = {}
+        return state
+
 
 def link_blocks(
     machine: Machine,

@@ -131,10 +131,10 @@ def _cmd_run(args) -> int:
     mode = "checked" if args.verify else (args.mode or "fast")
     if args.profile and mode in ("checked", "batch"):
         print(
-            "error: --profile needs the fast or turbo engine "
+            "error: --profile needs the fast, turbo or native engine "
             "(the checked reference keeps no hit vector and the batch "
-            "engine runs many lanes); use --mode fast or --mode turbo "
-            "without --verify",
+            "engine runs many lanes); use --mode fast, --mode turbo or "
+            "--mode native without --verify",
             file=sys.stderr,
         )
         return 2
@@ -586,11 +586,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument(
         "--mode",
-        choices=("fast", "checked", "turbo", "batch"),
+        choices=("fast", "checked", "turbo", "native", "batch"),
         default=None,
         help="simulation engine (default fast): 'fast' verifies the schedule "
         "once at load time and runs pre-decoded code; 'turbo' additionally "
-        "compiles basic blocks to specialized Python; 'checked' re-verifies "
+        "compiles basic blocks to specialized Python; 'native' compiles the "
+        "same blocks to C via cffi/ctypes with the shared object cached in "
+        "the artifact store (falls back to turbo without a C compiler); "
+        "'checked' re-verifies "
         "every cycle; 'batch' runs N identical lanes through the vectorized "
         "lockstep tier (see --batch); the scalar (MicroBlaze-like) core has "
         "a single engine and ignores --mode",
@@ -608,7 +611,7 @@ def main(argv: list[str] | None = None) -> int:
         "--profile",
         action="store_true",
         help="print per-block execution counts and the trigger histogram "
-        "after the run (fast/turbo engines on TTA/VLIW cores)",
+        "after the run (fast/turbo/native engines on TTA/VLIW cores)",
     )
     p_run.add_argument(
         "--trace",
@@ -649,9 +652,11 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (1 = serial, in-process)",
     )
     p_sweep.add_argument(
-        "--mode", choices=("fast", "checked", "turbo", "batch"), default="fast",
+        "--mode", choices=("fast", "checked", "turbo", "native", "batch"),
+        default="fast",
         help="simulation engine for computed pairs ('batch' routes each "
-        "pair through the batched lockstep tier)",
+        "pair through the batched lockstep tier; 'native' runs generated "
+        "C with store-cached shared objects)",
     )
     p_sweep.add_argument(
         "--retries", type=int, default=1,
@@ -705,9 +710,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated design-point subset (default: all 13)")
     p_fuzz.add_argument(
         "--modes", default=None,
-        help="comma-separated engine subset of checked,fast,turbo,batch "
-        "(default: all four; 'batch' adds a vectorized differential pass "
-        "over perturbed lane inputs; the scalar core always runs its "
+        help="comma-separated engine subset of checked,fast,turbo,native,"
+        "batch (default: all five; 'batch' adds a vectorized differential "
+        "pass over perturbed lane inputs; the scalar core always runs its "
         "single engine)",
     )
     p_fuzz.add_argument(
@@ -772,7 +777,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve",
         help="HTTP compile-and-simulate service",
         description="Serve the pipeline over HTTP/JSON: POST /v1/compile, "
-        "/v1/run (mode=checked/fast/turbo/batch), /v1/sweep; GET /healthz, "
+        "/v1/run (mode=checked/fast/turbo/native/batch), /v1/sweep; "
+        "GET /healthz, "
         "/v1/stats, /v1/jobs/<id>. Identical in-flight requests coalesce "
         "and finished results are served from the artifact store; a full "
         "queue answers 429 with Retry-After. SIGINT/SIGTERM drain "

@@ -9,7 +9,8 @@ requested engine mode, and compare
 * the **full result record** (cycles and every statistics counter) of
   every engine against the first engine's -- the engines advertise
   bit- and cycle-exact equivalence, so any counter drifting between
-  checked/fast/turbo is a divergence even when the exit codes agree.
+  checked/fast/turbo/native is a divergence even when the exit codes
+  agree.
 
 Divergences never raise; they come back as structured
 :class:`Divergence` records inside the :class:`FuzzCaseReport`, so a
@@ -34,7 +35,7 @@ from repro.fuzz.gen import GENERATOR_VERSION
 #: additionally self-checks the vectorized lockstep engine against the
 #: fast engine on perturbed per-lane inputs (one vectorized differential
 #: pass per generated kernel)
-ALL_MODES: tuple[str, ...] = ("checked", "fast", "turbo", "batch")
+ALL_MODES: tuple[str, ...] = ("checked", "fast", "turbo", "native", "batch")
 
 #: faults of the harness, not of the system under test: these must
 #: propagate (the executor turns them into TaskError records / the

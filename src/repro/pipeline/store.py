@@ -6,6 +6,7 @@ Layout (under the store root, default ``~/.cache/repro/artifacts`` or
     results/<k0k1>/<key>.json    # EvalResult entries (JSON payload)
     programs/<k0k1>/<key>.pkl    # CompiledProgram entries (pickle payload)
     json/<k0k1>/<key>.json       # generic JSON entries (fuzz verdicts, ...)
+    blobs/<k0k1>/<key>.bin       # opaque binary entries (native-engine .so)
 
 where ``<key>`` is the hex SHA-256 content fingerprint from
 :mod:`repro.pipeline.fingerprint` and ``<k0k1>`` its first two hex
@@ -38,6 +39,8 @@ _HEADER_PREFIX = b"repro-artifact sha256="
 _KIND_RESULTS = "results"
 _KIND_PROGRAMS = "programs"
 _KIND_JSON = "json"
+_KIND_BLOBS = "blobs"
+_ALL_KINDS = (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON, _KIND_BLOBS)
 
 #: environment override for the store root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -69,6 +72,8 @@ class StoreStats:
     writes: int = 0
     corrupt_dropped: int = 0
     stale_tmp_removed: int = 0
+    #: binary-blob entries written (native-engine shared objects)
+    blob_writes: int = 0
 
 
 class ArtifactStore:
@@ -94,6 +99,9 @@ class ArtifactStore:
 
     def json_path(self, key: str) -> Path:
         return self._entry_path(_KIND_JSON, key, ".json")
+
+    def blob_path(self, key: str) -> Path:
+        return self._entry_path(_KIND_BLOBS, key, ".bin")
 
     # ---- raw entry I/O --------------------------------------------------
 
@@ -197,6 +205,23 @@ class ArtifactStore:
             return None
         return payload
 
+    # ---- opaque binary entries ------------------------------------------
+
+    def store_blob(self, key: str, payload: bytes) -> Path:
+        """Store opaque binary data (same atomicity and self-verification
+        guarantees as the typed entry kinds).  Used by the native engine
+        to memoise compiled shared objects keyed by their generated-C
+        fingerprint."""
+        path = self.blob_path(key)
+        self._write_entry(path, bytes(payload))
+        self.stats.blob_writes += 1
+        return path
+
+    def load_blob(self, key: str) -> bytes | None:
+        """Payload bytes, or ``None`` on miss/corruption (corrupt entries
+        are deleted so the caller transparently rebuilds them)."""
+        return self._read_entry(self.blob_path(key))
+
     # ---- CompiledProgram entries ----------------------------------------
 
     def store_program(self, key: str, compiled) -> Path:
@@ -229,7 +254,7 @@ class ArtifactStore:
         """
         cutoff = time.time() - age_s
         removed = 0
-        for kind in (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON):
+        for kind in _ALL_KINDS:
             base = self.root / kind
             if not base.exists():
                 continue
@@ -246,7 +271,7 @@ class ArtifactStore:
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed."""
         removed = 0
-        for kind in (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON):
+        for kind in _ALL_KINDS:
             base = self.root / kind
             if not base.exists():
                 continue
@@ -261,7 +286,7 @@ class ArtifactStore:
 
     def entry_count(self) -> dict[str, int]:
         counts = {}
-        for kind in (_KIND_RESULTS, _KIND_PROGRAMS, _KIND_JSON):
+        for kind in _ALL_KINDS:
             base = self.root / kind
             counts[kind] = (
                 sum(1 for p in base.rglob("*") if p.is_file() and not p.name.endswith(".tmp"))

@@ -51,7 +51,7 @@ TIMEOUT = "timeout"
 TERMINAL_STATES = (DONE, FAILED, CANCELLED, TIMEOUT)
 
 JOB_KINDS = ("compile", "run", "sweep")
-RUN_MODES = ("checked", "fast", "turbo", "batch")
+RUN_MODES = ("checked", "fast", "turbo", "native", "batch")
 
 #: default simulator cycle budget (mirrors ``run_compiled``)
 DEFAULT_MAX_CYCLES = 500_000_000

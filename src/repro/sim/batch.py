@@ -649,9 +649,10 @@ def run_batch(
     gives the lane count instead when every lane runs the pristine
     image (default 1).  ``mode`` selects the tier: ``"batch"`` (the
     vectorized lockstep engine with per-lane fast-engine fallback) or
-    any serial engine (``"checked"``/``"fast"``/``"turbo"``) run once
-    per lane -- the shared "decoded program in, stats out" interface of
-    every tier.  Scalar cores always run their single engine per lane.
+    any serial engine (``"checked"``/``"fast"``/``"turbo"``/
+    ``"native"``) run once per lane -- the shared "decoded program in,
+    stats out" interface of every tier.  Scalar cores always run their
+    single engine per lane.
 
     ``on_error="raise"`` re-raises the lowest-failing-lane's
     :class:`SimError`; ``on_error="return"`` places the error object in
@@ -661,7 +662,7 @@ def run_batch(
 
     if on_error not in ("raise", "return"):
         raise ValueError(f"unknown on_error policy {on_error!r}")
-    if mode not in ("batch", "checked", "fast", "turbo"):
+    if mode not in ("batch", "checked", "fast", "turbo", "native"):
         raise ValueError(f"unknown simulation mode {mode!r}")
     if inputs is None:
         n = 1 if lanes is None else lanes

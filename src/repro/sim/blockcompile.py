@@ -60,8 +60,9 @@ from repro.sim.predecode import (
 #: the pipeline artifact fingerprint (:mod:`repro.pipeline.fingerprint`)
 #: so a cached sweep result can never mask a codegen semantics change:
 #: bump this whenever the semantics of any engine (checked / fast /
-#: turbo / batch) or of the generated block code could change.
-SIM_ENGINE_VERSION = 4
+#: turbo / batch / native) or of the generated block or C code could
+#: change.  It also keys the native engine's stored shared objects.
+SIM_ENGINE_VERSION = 5
 
 #: cache keys on ``Program.predecode_cache`` for compiled block code
 _TTA_TURBO_KEY = "tta-turbo"

@@ -1,9 +1,10 @@
 """Post-run simulation profiling: hot blocks and trigger histograms.
 
-The fast and turbo engines already maintain a per-pc execution-count
-vector to reconstruct the architectural statistics (moves, triggers,
-port traffic), and the turbo engine already counts block executions to
-expand that vector -- so profiling is **zero overhead when disabled**:
+The fast, turbo and native engines already maintain a per-pc
+execution-count vector to reconstruct the architectural statistics
+(moves, triggers, port traffic), and the turbo/native engines already
+count block executions to expand that vector -- so profiling is
+**zero overhead when disabled**:
 :func:`collect_profile` only *reads* state the engines leave behind
 (``sim._last_hits`` / ``sim._last_blocks`` / ``sim._last_engine``) and
 derives everything else from the cached static decode.
@@ -25,8 +26,8 @@ from repro.machine.machine import MachineStyle
 
 @dataclass(frozen=True)
 class BlockProfile:
-    """One profiled region: either a turbo-compiled basic block or a
-    single interpreted pc (length 1) on the fast/fallback path."""
+    """One profiled region: either a turbo/native-compiled basic block
+    or a single interpreted pc (length 1) on the fast/fallback path."""
 
     start: int
     length: int
@@ -50,7 +51,7 @@ class SimProfile:
 
 
 def collect_profile(sim, result) -> SimProfile:
-    """Build a :class:`SimProfile` from a finished fast/turbo run.
+    """Build a :class:`SimProfile` from a finished fast/turbo/native run.
 
     Raises :class:`ValueError` if *sim* has not run yet or ran with the
     checked engine (which keeps no hit vector).
@@ -61,13 +62,15 @@ def collect_profile(sim, result) -> SimProfile:
     if hits is None:
         raise ValueError(
             "no profile data: run the simulator with mode='fast' or "
-            "mode='turbo' first (the checked engine keeps no hit vector)"
+            "mode='turbo' or mode='native' first (the checked engine "
+            "keeps no hit vector)"
         )
     engine = getattr(sim, "_last_engine", None)
     if engine is None:
         raise ValueError(
             "no profile data: run the simulator with mode='fast' or "
-            "mode='turbo' first (the checked engine keeps no hit vector)"
+            "mode='turbo' or mode='native' first (the checked engine "
+            "keeps no hit vector)"
         )
     with obs.span("sim.profile.collect", engine=engine):
         return _collect(sim, result, hits, engine)

@@ -45,6 +45,9 @@ def run_compiled(
     ``mode="turbo"`` additionally compiles basic blocks to specialized
     Python code chained through a dispatch table (falling back per block
     to the fast engine where codegen cannot prove the block static);
+    ``mode="native"`` compiles the same blocks to C via cffi/ctypes
+    with the shared object cached in the artifact store (degrading to
+    turbo with a one-time warning when no C compiler is available);
     ``mode="checked"`` runs the per-cycle reference engine;
     ``mode="batch"`` routes through the batched lockstep tier of
     :mod:`repro.sim.batch` (a single lane here -- use
@@ -68,17 +71,19 @@ def run_compiled_profiled(
 ):
     """Simulate *compiled* and return ``(result, SimProfile)``.
 
-    Profiling rides on the hit vectors the fast/turbo engines already
-    maintain, so it adds no per-cycle overhead; it is unavailable for
-    the checked engine (no hit vector) and the scalar core.
+    Profiling rides on the hit vectors the fast/turbo/native engines
+    already maintain, so it adds no per-cycle overhead; it is
+    unavailable for the checked engine (no hit vector) and the scalar
+    core.
     """
     from repro.sim.profile import collect_profile
 
     if compiled.machine.style is MachineStyle.SCALAR:
         raise ValueError("profiling supports TTA and VLIW cores only")
-    if mode not in ("fast", "turbo"):
+    if mode not in ("fast", "turbo", "native"):
         raise ValueError(
-            f"profiling requires mode='fast' or mode='turbo', not {mode!r}"
+            f"profiling requires mode='fast' or mode='turbo' or "
+            f"mode='native', not {mode!r}"
         )
     sim = _make_simulator(compiled, False, max_cycles, mode)
     result = sim.run()

@@ -20,6 +20,11 @@ Three execution modes are offered (``mode="fast"`` is the default):
   basic blocks of the pre-decoded program into specialized Python code
   chained through a per-pc dispatch table, falling back per block to
   the fast engine for anything it cannot prove static.
+* ``"native"`` -- :mod:`repro.sim.native` compiles the same basic
+  blocks to C (one shared object per program, persistently cached in
+  the artifact store) and drives them through the same dispatch;
+  degrades to turbo with a one-time warning when no C compiler is
+  available.
 * ``"checked"`` -- the reference implementation: every check is re-run
   on every executed cycle.  The differential tests assert all modes
   agree bit- and cycle-exactly on every workload.
@@ -123,12 +128,13 @@ class TTASimulator:
     check_connectivity: bool = False
     #: "fast" = load-time verification + pre-decoded engine;
     #: "turbo" = fast plus basic-block compilation with block chaining;
+    #: "native" = turbo's blocks compiled to C via cffi/ctypes;
     #: "checked" = per-cycle reference implementation
     mode: str = "fast"
     memory: DataMemory = field(init=False)
 
     def __post_init__(self) -> None:
-        if self.mode not in ("fast", "checked", "turbo"):
+        if self.mode not in ("fast", "checked", "turbo", "native"):
             raise ValueError(f"unknown simulation mode {self.mode!r}")
         machine = self.program.machine
         self.memory = DataMemory(self.memory_size)
@@ -199,6 +205,10 @@ class TTASimulator:
                 from repro.sim.blockcompile import run_tta_turbo
 
                 result = run_tta_turbo(self)
+            elif self.mode == "native":
+                from repro.sim.native import run_tta_native
+
+                result = run_tta_native(self)
             else:
                 result = self._run_checked()
         record_run(result, "tta")

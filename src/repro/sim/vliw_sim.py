@@ -14,9 +14,11 @@ Three execution modes are offered (``mode="fast"`` is the default):
 ``"fast"`` validates every bundle once at load time and runs the
 pre-decoded engine of :mod:`repro.sim.predecode`; ``"turbo"``
 additionally compiles basic blocks into specialized Python code
-(:mod:`repro.sim.blockcompile`); ``"checked"`` is the per-cycle
-reference implementation.  Differential tests assert all modes agree
-bit- and cycle-exactly.
+(:mod:`repro.sim.blockcompile`); ``"native"`` compiles the same blocks
+to C through :mod:`repro.sim.native` (degrading to turbo when no C
+compiler is available); ``"checked"`` is the per-cycle reference
+implementation.  Differential tests assert all modes agree bit- and
+cycle-exactly.
 """
 
 from __future__ import annotations
@@ -48,12 +50,13 @@ class VLIWSimulator:
     max_cycles: int = 500_000_000
     #: "fast" = load-time verification + pre-decoded engine;
     #: "turbo" = fast plus basic-block compilation with block chaining;
+    #: "native" = turbo's blocks compiled to C via cffi/ctypes;
     #: "checked" = per-cycle reference implementation
     mode: str = "fast"
     memory: DataMemory = field(init=False)
 
     def __post_init__(self) -> None:
-        if self.mode not in ("fast", "checked", "turbo"):
+        if self.mode not in ("fast", "checked", "turbo", "native"):
             raise ValueError(f"unknown simulation mode {self.mode!r}")
         self.memory = DataMemory(self.memory_size)
         self.regs: dict[PhysReg, int] = {}
@@ -114,6 +117,10 @@ class VLIWSimulator:
                 from repro.sim.blockcompile import run_vliw_turbo
 
                 result = run_vliw_turbo(self)
+            elif self.mode == "native":
+                from repro.sim.native import run_vliw_native
+
+                result = run_vliw_native(self)
             else:
                 result = self._run_checked()
         record_run(result, "vliw")

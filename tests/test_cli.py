@@ -82,7 +82,7 @@ class TestCLI:
         assert main(
             ["run", minic_file, "-m", "m-tta-2", "--mode", "batch", "--profile"]
         ) == 2
-        assert "fast or turbo engine" in capsys.readouterr().err
+        assert "fast, turbo or native engine" in capsys.readouterr().err
 
     def test_run_profile(self, minic_file, capsys):
         assert main(
@@ -95,7 +95,7 @@ class TestCLI:
         assert main(["run", minic_file, "-m", "mblaze-3", "--profile"]) == 2
         assert "TTA and VLIW cores only" in capsys.readouterr().err
         assert main(["run", minic_file, "-m", "m-tta-1", "--verify", "--profile"]) == 2
-        assert "fast or turbo engine" in capsys.readouterr().err
+        assert "fast, turbo or native engine" in capsys.readouterr().err
 
     def test_asm(self, minic_file, capsys):
         assert main(["asm", minic_file, "-m", "m-tta-2", "--count", "10"]) == 0
@@ -273,7 +273,8 @@ class TestFuzzCLI:
     def test_fuzz_rejects_unknown_mode(self, capsys):
         assert main(["fuzz", "--count", "1", "--modes", "warp"]) == 2
         err = capsys.readouterr().err
-        assert "unknown mode 'warp'" in err and "checked, fast, turbo, batch" in err
+        assert "unknown mode 'warp'" in err
+        assert "checked, fast, turbo, native, batch" in err
 
     def test_fuzz_rejects_bad_jobs(self, capsys):
         for jobs in ("0", "-3"):

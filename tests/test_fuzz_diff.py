@@ -43,7 +43,7 @@ def test_agreeing_case_runs_every_mode(machine):
     assert set(report.runs) == set(ALL_MODES)
     # cross-engine: every statistics field identical, not just exit codes
     baseline = report.runs["checked"]
-    for mode in ("fast", "turbo", "batch"):
+    for mode in ("fast", "turbo", "native", "batch"):
         assert report.runs[mode] == baseline
 
 

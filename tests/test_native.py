@@ -1,0 +1,433 @@
+"""Native (generated-C) engine tests.
+
+The native engine must be bit- and cycle-exact with the checked
+reference engine — exit code, cycle count and **every** statistics
+counter — on every CHStone-style workload, on both machine styles.
+Dynamic schedule violations (early FU reads, non-monotonic result
+pushes, overlapping control transfers, out-of-range PCs and memory
+accesses, cycle-budget exhaustion) must raise the same exception type
+with byte-identical message text.
+
+The tier also has an availability contract: no C compiler (or a codegen
+bailout) degrades to the turbo engine with exactly one RuntimeWarning
+and unchanged results, and compiled shared objects round-trip through
+the artifact store's blob kind so warm runs never invoke the compiler.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from dataclasses import asdict
+
+import pytest
+
+from repro import build_machine, compile_for_machine, compile_source
+from repro.backend.mop import Imm, MOp, PhysReg
+from repro.backend.program import Move, Program, TTAInstr, VLIWInstr
+from repro.kernels import KERNELS, compile_kernel
+from repro.sim import (
+    SimError,
+    TTASimulator,
+    VLIWSimulator,
+    run_batch,
+    run_compiled,
+    run_compiled_profiled,
+)
+from repro.sim import native
+from repro.sim.cgen import ENTRY_SYMBOL, build_native_program
+
+#: one TTA and one VLIW design point; native/checked agreement is
+#: style-level, not design-point-level (same policy as test_blockcompile)
+DIFF_MACHINES = ("m-tta-2", "m-vliw-2")
+
+FIB_SRC = """
+int fib(int n){ if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void){ return fib(12) - 144; }
+"""
+
+requires_cc = pytest.mark.skipif(
+    native.find_compiler() is None, reason="no C compiler on PATH"
+)
+
+
+def _compile(src, machine_name):
+    return compile_for_machine(compile_source(src), build_machine(machine_name))
+
+
+# ---------------------------------------------------------------------------
+# differential: every workload, native vs checked, every statistic
+# ---------------------------------------------------------------------------
+
+
+@requires_cc
+@pytest.mark.slow  # full kernel x machine differential matrix (compiles C)
+@pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_identical_native_vs_checked(machine_name, kernel):
+    compiled = compile_for_machine(compile_kernel(kernel), build_machine(machine_name))
+    checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+    nat = run_compiled(compiled, mode="native")
+    assert asdict(nat) == asdict(checked), f"{machine_name}/{kernel} diverged"
+    assert nat.exit_code == 0
+
+
+class TestNativeDifferentialSmoke:
+    """Small native-vs-checked matrix the CI workflow runs on every push
+    (selected by class name; keep it fast: 2 machines x 2 kernels)."""
+
+    @requires_cc
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    @pytest.mark.parametrize("kernel", ("mips", "motion"))
+    def test_smoke(self, machine_name, kernel):
+        compiled = compile_for_machine(
+            compile_kernel(kernel), build_machine(machine_name)
+        )
+        checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+        nat = run_compiled(compiled, mode="native")
+        assert asdict(nat) == asdict(checked), f"{machine_name}/{kernel} diverged"
+        assert nat.exit_code == 0
+
+
+@requires_cc
+def test_branchy_recursion_identical_native_vs_checked():
+    for name in ("m-tta-1", "bm-tta-3", "p-vliw-3"):
+        compiled = _compile(FIB_SRC, name)
+        checked = run_compiled(compiled, mode="checked", check_connectivity=True)
+        nat = run_compiled(compiled, mode="native")
+        assert asdict(nat) == asdict(checked), name
+        assert nat.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# dynamic errors: same exception type, byte-identical message text
+# ---------------------------------------------------------------------------
+
+
+def _tta_prog(moves_lists, machine_name="m-tta-2"):
+    machine = build_machine(machine_name)
+    return Program(machine, "tta", [TTAInstr(moves) for moves in moves_lists])
+
+
+def _outcome(sim):
+    try:
+        result = sim.run()
+        return ("ok", result.exit_code, result.cycles)
+    except (SimError, ValueError) as exc:
+        return (type(exc).__name__, str(exc))
+
+
+@requires_cc
+class TestNativeDynamics:
+    """Each scenario runs once on the checked reference and once on the
+    native engine (fresh ``Program`` objects — the engine caches on the
+    program) and the outcomes, including the exact error text, must be
+    identical.  A degradation warning during the native run would mask a
+    missing compiler, so warnings escalate to errors here."""
+
+    def _diff(self, make_prog, sim_cls=TTASimulator, expect=None):
+        checked = _outcome(sim_cls(make_prog(), mode="checked", max_cycles=10_000))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            nat = _outcome(sim_cls(make_prog(), mode="native", max_cycles=10_000))
+        assert nat == checked
+        if expect is not None:
+            assert expect in checked[1]
+        return checked
+
+    def test_early_result_read(self):
+        self._diff(
+            lambda: _tta_prog(
+                [
+                    [
+                        Move(("imm", 3), ("op", "ALU0", "o1", None), 0),
+                        Move(("imm", 4), ("op", "ALU0", "t", "mul"), 1),
+                    ],
+                    [Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)],
+                ]
+            ),
+            expect="before the first result is due",
+        )
+
+    def test_never_triggered_read(self):
+        self._diff(
+            lambda: _tta_prog([[Move(("fu", "ALU0"), ("rf", "RF0", 1), 0)]]),
+            expect="never triggered",
+        )
+
+    def test_non_monotonic_result_push(self):
+        # mul (latency 3) then add (latency 1): the second result would
+        # be due before the first — the reference raises ValueError from
+        # inside the FU, the native engine reconstructs it byte-for-byte
+        self._diff(
+            lambda: _tta_prog(
+                [
+                    [
+                        Move(("imm", 3), ("op", "ALU0", "o1", None), 0),
+                        Move(("imm", 4), ("op", "ALU0", "t", "mul"), 1),
+                    ],
+                    [Move(("imm", 1), ("op", "ALU0", "t", "add"), 0)],
+                ]
+            ),
+            expect="not after pending",
+        )
+
+    def test_pc_out_of_range(self):
+        self._diff(
+            lambda: _tta_prog(
+                [[Move(("imm", 100), ("op", "CU", "t", "jump"), 0)], [], [], [], []]
+            ),
+            expect="PC out of range: 100",
+        )
+
+    def test_overlapping_control_transfers(self):
+        self._diff(
+            lambda: _tta_prog(
+                [
+                    [Move(("imm", 0), ("op", "CU", "t", "jump"), 0)],
+                    [Move(("imm", 0), ("op", "CU", "t", "jump"), 0)],
+                    [],
+                    [],
+                    [],
+                ]
+            ),
+            expect="overlapping control transfers",
+        )
+
+    def test_vliw_overlapping_control_transfers(self):
+        def make():
+            machine = build_machine("m-vliw-2")
+            instrs = [
+                VLIWInstr([MOp("jump", None, [Imm(0)])]),
+                VLIWInstr([MOp("jump", None, [Imm(0)])]),
+                VLIWInstr([]),
+                VLIWInstr([]),
+            ]
+            return Program(machine, "vliw", instrs)
+
+        self._diff(make, sim_cls=VLIWSimulator, expect="overlapping")
+
+    def test_memory_access_out_of_range(self):
+        self._diff(
+            lambda: _tta_prog(
+                [
+                    [
+                        Move(("imm", 42), ("op", "LSU0", "o1", None), 0),
+                        Move(("imm", 0x7FFFFFFF), ("op", "LSU0", "t", "stw"), 1),
+                    ],
+                    [],
+                    [],
+                    [],
+                    [Move(("imm", 0), ("op", "CU", "t", "halt"), 0)],
+                ]
+            ),
+            expect="memory access out of range: 0x7fffffff+4",
+        )
+
+    def test_vliw_delayed_writeback_visible_late(self):
+        machine = build_machine("m-vliw-2")
+        r1 = PhysReg("RF0", 1)
+        r2 = PhysReg("RF0", 2)
+        instrs = [
+            VLIWInstr([MOp("add", r1, [Imm(40), Imm(2)])]),
+            VLIWInstr([MOp("add", r2, [r1, Imm(0)])]),  # reads OLD r1 (0)
+            VLIWInstr([MOp("add", r2, [r1, Imm(0)])]),  # now reads 42
+            VLIWInstr([MOp("halt", None, [Imm(0)])]),
+        ]
+        prog = Program(machine, "vliw", instrs)
+        sim = VLIWSimulator(prog, mode="native")
+        sim.run()
+        assert sim.regs[r2] == 42
+
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    def test_cycle_budget_exact_at_boundary(self, machine_name):
+        compiled = _compile(FIB_SRC, machine_name)
+        cycles = run_compiled(compiled, mode="fast").cycles
+        ok = run_compiled(compiled, mode="native", max_cycles=cycles - 1)
+        assert ok.cycles == cycles
+        with pytest.raises(SimError, match="cycle budget"):
+            run_compiled(compiled, mode="native", max_cycles=cycles - 2)
+
+
+# ---------------------------------------------------------------------------
+# availability: degradation to turbo, codegen bailout, FFI selection
+# ---------------------------------------------------------------------------
+
+
+class TestDegradation:
+    def test_no_compiler_falls_back_to_turbo_with_one_warning(self, monkeypatch):
+        monkeypatch.setenv(native.NO_CC_ENV, "1")
+        monkeypatch.setattr(native, "_WARNED", False)
+        assert native.find_compiler() is None
+        reference = run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="turbo")
+        fresh = _compile(FIB_SRC, "m-tta-2")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = run_compiled(fresh, mode="native")
+            second = run_compiled(fresh, mode="native")
+        degradations = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(degradations) == 1, "degradation must warn exactly once"
+        assert "falling back" in str(degradations[0].message)
+        assert asdict(first) == asdict(reference) == asdict(second)
+        # the unavailability decision is cached on the program
+        assert fresh.program.predecode_cache["tta-native"] is None
+
+    def test_vliw_degrades_too(self, monkeypatch):
+        monkeypatch.setenv(native.NO_CC_ENV, "1")
+        monkeypatch.setattr(native, "_WARNED", False)
+        reference = run_compiled(_compile(FIB_SRC, "m-vliw-2"), mode="turbo")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            nat = run_compiled(_compile(FIB_SRC, "m-vliw-2"), mode="native")
+        assert asdict(nat) == asdict(reference)
+
+    def test_cc_env_override_pointing_nowhere_degrades(self, monkeypatch):
+        monkeypatch.delenv(native.NO_CC_ENV, raising=False)
+        monkeypatch.setenv(native.CC_ENV, "definitely-not-a-compiler-xyz")
+        assert native.find_compiler() is None
+
+    @requires_cc
+    def test_codegen_bailout_degrades_cleanly(self, monkeypatch):
+        monkeypatch.setattr(native, "build_native_program", lambda prog: None)
+        monkeypatch.setattr(native, "_WARNED", False)
+        checked = run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="checked")
+        with pytest.warns(RuntimeWarning, match="could not be compiled"):
+            nat = run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="native")
+        assert asdict(nat) == asdict(checked)
+
+    @requires_cc
+    def test_forced_ctypes_binding_differential(self, monkeypatch):
+        monkeypatch.setenv(native.FFI_ENV, "ctypes")
+        monkeypatch.setattr(native, "_LIB_CACHE", {})
+        for machine_name in DIFF_MACHINES:
+            compiled = _compile(FIB_SRC, machine_name)
+            checked = run_compiled(compiled, mode="checked")
+            nat = run_compiled(compiled, mode="native")
+            assert asdict(nat) == asdict(checked), machine_name
+            style = compiled.program.style
+            engine = compiled.program.predecode_cache[f"{style}-native"]
+            assert engine.binding.kind == "ctypes"
+
+    @requires_cc
+    def test_unknown_ffi_choice_rejected(self, monkeypatch):
+        monkeypatch.setenv(native.FFI_ENV, "rust")
+        monkeypatch.setattr(native, "_LIB_CACHE", {})
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        with pytest.raises(ValueError, match="unknown native FFI"):
+            run_compiled(compiled, mode="native")
+
+
+# ---------------------------------------------------------------------------
+# shared-object caching: store blobs, process cache, pickling
+# ---------------------------------------------------------------------------
+
+
+@requires_cc
+class TestSharedObjectCache:
+    def test_store_blob_round_trip_skips_compiler_when_warm(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.pipeline.store import CACHE_DIR_ENV, NO_CACHE_ENV, default_store
+
+        monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setattr(native, "_LIB_CACHE", {})
+        store = default_store()
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        checked = run_compiled(compiled, mode="checked")
+        first = run_compiled(compiled, mode="native")
+        assert store.stats.blob_writes == 1
+        assert store.entry_count()["blobs"] == 1
+        # fresh program and empty process cache: the shared object must be
+        # served from the store without ever invoking the C compiler
+        monkeypatch.setattr(native, "_LIB_CACHE", {})
+        monkeypatch.setattr(
+            native,
+            "_compile_so",
+            lambda *a, **k: pytest.fail("recompiled despite a warm store"),
+        )
+        warm = run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="native")
+        assert asdict(first) == asdict(warm) == asdict(checked)
+
+    def test_corrupt_stored_blob_recompiles(self, monkeypatch, tmp_path):
+        from repro.pipeline.store import CACHE_DIR_ENV, NO_CACHE_ENV, default_store
+
+        monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setattr(native, "_LIB_CACHE", {})
+        store = default_store()
+        checked = run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="checked")
+        run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="native")
+        [path] = (tmp_path / "blobs").rglob("*.bin")
+        path.write_bytes(path.read_bytes()[: 100])
+        monkeypatch.setattr(native, "_LIB_CACHE", {})
+        nat = run_compiled(_compile(FIB_SRC, "m-tta-2"), mode="native")
+        assert asdict(nat) == asdict(checked)
+        assert store.stats.corrupt_dropped == 1
+        assert store.stats.blob_writes == 2, "rebuilt object must be re-stored"
+
+    def test_program_with_native_engine_still_pickles(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        checked = run_compiled(compiled, mode="checked")
+        run_compiled(compiled, mode="native")
+        assert compiled.program.predecode_cache  # FFI handles live here
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.program.predecode_cache == {}
+        assert asdict(run_compiled(clone, mode="native")) == asdict(checked)
+
+
+# ---------------------------------------------------------------------------
+# driver integration: partial coverage, batch lanes, profiling, codegen
+# ---------------------------------------------------------------------------
+
+
+@requires_cc
+class TestDriverIntegration:
+    def test_partial_native_coverage_interleaves_python_fallback(self):
+        """Dropping dispatchable entries forces the driver to interleave
+        C-executed blocks with the precise single-cycle Python fallback;
+        results must not change."""
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        checked = run_compiled(compiled, mode="checked")
+        run_compiled(compiled, mode="native")  # builds + caches the engine
+        engine = compiled.program.predecode_cache["tta-native"]
+        assert engine is not None
+        for start in list(engine.entry_len)[::2]:
+            del engine.entry_len[start]
+        nat = run_compiled(compiled, mode="native")
+        assert asdict(nat) == asdict(checked)
+
+    def test_run_batch_native_lanes_match_checked(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        serial = run_compiled(compiled, mode="checked")
+        lanes = run_batch(compiled, lanes=2, mode="native")
+        assert len(lanes) == 2
+        for result in lanes:
+            assert asdict(result) == asdict(serial)
+
+    @pytest.mark.parametrize("machine_name", DIFF_MACHINES)
+    def test_native_profile_matches_turbo(self, machine_name):
+        compiled = _compile(FIB_SRC, machine_name)
+        _, turbo = run_compiled_profiled(compiled, mode="turbo")
+        result, nat = run_compiled_profiled(compiled, mode="native")
+        assert result.exit_code == 0
+        assert nat.engine == "native"
+        assert nat.cycles == turbo.cycles
+        assert nat.pc_hits == turbo.pc_hits
+        assert nat.opcode_counts == turbo.opcode_counts
+        assert nat.blocks and sum(b.instructions for b in nat.blocks) == (
+            nat.instructions
+        )
+
+    def test_build_native_program_shape(self):
+        compiled = _compile(FIB_SRC, "m-tta-2")
+        nat = build_native_program(compiled.program)
+        assert nat is not None
+        assert ENTRY_SYMBOL in nat.source
+        assert nat.style == "tta"
+        assert nat.entries and nat.n_blocks == len(nat.entries)
+        assert nat.n_instrs == len(compiled.program.instrs)
+        # every dispatchable entry lies inside the program
+        for start, length in nat.entries:
+            assert 0 <= start and start + length <= nat.n_instrs

@@ -271,6 +271,32 @@ class TestArtifactStore:
         assert store.clear() == 2
         assert store.entry_count()["results"] == 0
 
+    def test_blob_round_trip_and_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "0d" * 32
+        payload = bytes(range(256)) * 4
+        store.store_blob(key, payload)
+        assert store.stats.blob_writes == 1
+        assert store.stats.writes == 1, "blob writes count as writes too"
+        assert store.entry_count()["blobs"] == 1
+        assert store.load_blob(key) == payload
+        assert store.load_blob("1e" * 32) is None
+        assert store.stats.misses == 1
+
+    def test_blob_corruption_detected_dropped_and_rebuilt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "2f" * 32
+        payload = b"\x7fELF not really a shared object"
+        path = store.store_blob(key, payload)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+        assert store.load_blob(key) is None
+        assert not path.exists(), "corrupt blob must be deleted"
+        assert store.stats.corrupt_dropped == 1
+        # the caller rebuilds transparently:
+        store.store_blob(key, payload)
+        assert store.load_blob(key) == payload
+
     def test_program_round_trip_and_corruption(self, tmp_path):
         store = ArtifactStore(tmp_path)
         compiled = compile_cached("m-tta-1", "mips", store=store)

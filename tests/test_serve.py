@@ -230,7 +230,7 @@ class TestRequestValidation:
 class TestByteIdentity:
     """Served results must equal direct pipeline results, field for field."""
 
-    @pytest.mark.parametrize("mode", ["checked", "fast", "turbo", "batch"])
+    @pytest.mark.parametrize("mode", ["checked", "fast", "turbo", "native", "batch"])
     def test_run_matches_run_compiled(self, served, mode):
         compiled = compile_for_machine(
             compile_source(TINY_SRC), build_machine("m-tta-2")
