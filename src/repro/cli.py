@@ -352,6 +352,120 @@ def _cmd_sweep(args) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_explore(args) -> int:
+    from repro.explore import (
+        ExploreConfig,
+        ExploreError,
+        render_explore,
+        run_explore,
+    )
+    from repro.kernels import KERNELS
+    from repro.pipeline import ArtifactStore, default_store, parse_subset
+
+    # --smoke: a bounded, seeded CI-sized campaign on the cheap turbo
+    # engine; explicit flags given alongside it still win.
+    generations = args.generations
+    population = args.population
+    kernels = args.kernels
+    jobs = args.jobs
+    mode = args.mode
+    if args.smoke:
+        generations = 2 if generations is None else generations
+        population = 4 if population is None else population
+        kernels = "mips,motion" if kernels is None else kernels
+        jobs = 2 if jobs is None else jobs
+        mode = "turbo" if mode is None else mode
+    generations = 3 if generations is None else generations
+    population = 8 if population is None else population
+    jobs = 1 if jobs is None else jobs
+    mode = "native" if mode is None else mode
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    try:
+        kernel_subset = (
+            parse_subset(kernels, KERNELS, "kernel") if kernels is not None else None
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    base = tuple(part.strip() for part in args.base.split(",") if part.strip())
+    if not base:
+        print("error: --base must name at least one TTA preset", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else default_store()
+    config = ExploreConfig(
+        base=base,
+        kernels=kernel_subset,
+        generations=generations,
+        population=population,
+        seed=args.seed,
+        mode=mode,
+        jobs=jobs,
+    )
+
+    def _progress(done: int, total: int, task, outcome) -> None:
+        if args.quiet:
+            return
+        from repro.pipeline import EvalResult
+
+        if isinstance(outcome, EvalResult):
+            detail = f"{outcome.cycles} cycles"
+        else:
+            detail = f"infeasible: {outcome.error_type}"
+        print(
+            f"[{done:3d}/{total}] {task.machine:16s} {task.kernel:10s} {detail}",
+            file=sys.stderr,
+        )
+
+    tracer = None
+    if args.trace:
+        from repro import obs
+
+        tracer = obs.enable(obs.Tracer(process="explore driver"))
+    try:
+        result = run_explore(
+            config,
+            store=store,
+            use_cache=not args.no_cache,
+            progress=_progress,
+        )
+    except (ExploreError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            from repro import obs
+
+            obs.disable()
+    if tracer is not None:
+        write_status = _write_trace_file(args.trace, [tracer.to_payload()])
+        if write_status:
+            return write_status
+    stats = result.stats
+    print(
+        f"explored {stats.evaluated + stats.infeasible} candidates in "
+        f"{stats.elapsed_s:.2f}s ({stats.evaluated} feasible, "
+        f"{stats.infeasible} infeasible, {stats.cache_hits} pairs cached, "
+        f"{stats.computed} computed, frontier {len(result.frontier)})",
+        file=sys.stderr,
+    )
+    payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"frontier JSON written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(render_explore(result))
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import FuzzConfig, default_corpus_dir, run_fuzz
     from repro.fuzz.diff import ALL_MODES
@@ -692,6 +806,65 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("-q", "--quiet", action="store_true",
                          help="suppress per-pair progress on stderr")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_exp = sub.add_parser(
+        "explore",
+        help="automated design-space exploration: seeded mutations over "
+        "TTA machines, evaluated through the cached pipeline, reported "
+        "as a Pareto frontier over (cycles, area, fmax)",
+    )
+    p_exp.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_exp.add_argument(
+        "--generations", type=int, default=None,
+        help="mutation rounds after the baseline evaluation (default 3)",
+    )
+    p_exp.add_argument(
+        "--population", type=int, default=None,
+        help="new candidates per generation (default 8)",
+    )
+    p_exp.add_argument(
+        "--base", default="m-tta-2",
+        help="comma-separated TTA preset(s) to explore outward from",
+    )
+    p_exp.add_argument("--kernels", default=None, help="comma-separated kernel subset")
+    p_exp.add_argument(
+        "--mode", choices=("fast", "checked", "turbo", "native", "batch"),
+        default=None,
+        help="simulation engine for computed pairs (default 'native', "
+        "which falls back to turbo without a C compiler)",
+    )
+    p_exp.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (1 = serial, in-process)",
+    )
+    p_exp.add_argument(
+        "--smoke", action="store_true",
+        help="bounded CI-sized campaign: 2 generations x 4 candidates on "
+        "mips+motion, turbo engine, 2 jobs (explicit flags still win)",
+    )
+    p_exp.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the frontier JSON payload to FILE",
+    )
+    p_exp.add_argument("--json", action="store_true",
+                       help="frontier JSON on stdout instead of the report")
+    p_exp.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/artifacts)",
+    )
+    p_exp.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk artifact store",
+    )
+    p_exp.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write the driver's explore.*/sweep.* span timeline as "
+        "Chrome-trace JSON",
+    )
+    p_exp.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress per-pair progress on stderr")
+    p_exp.set_defaults(fn=_cmd_explore)
 
     p_fuzz = sub.add_parser(
         "fuzz",

@@ -16,7 +16,8 @@ its tests are untouched by the pipeline rewrite.
 
 from __future__ import annotations
 
-from repro.pipeline.sweep import sweep as _pipeline_sweep
+from repro.pipeline.sweep import sweep_tasks as _sweep_tasks
+from repro.pipeline.sweep import tasks_for_machines as _tasks_for_machines
 
 # Re-exported for backwards compatibility: EvalResult historically lived
 # here; it now belongs to the pipeline layer.
@@ -24,16 +25,22 @@ from repro.pipeline.types import EvalResult, SweepFailure  # noqa: F401
 
 #: process-local memo so repeated ``run_sweep`` calls return the *same*
 #: EvalResult objects (tests and generators rely on identity), keyed by
-#: (machine, kernel) for the default fast/optimised configuration.
+#: (machine name, kernel) for the default fast/optimised configuration.
+#: Generated machines key by their display name; callers minting mutants
+#: must give each structure a distinct name (``structural_name`` does).
 _MEMO: dict[tuple[str, str], EvalResult] = {}
 
 
 def run_sweep(
-    machines: tuple[str, ...] | None = None,
+    machines: tuple | None = None,
     kernels: tuple[str, ...] | None = None,
     jobs: int = 1,
 ) -> dict[tuple[str, str], EvalResult]:
     """Measure every (machine, kernel) pair; cached across calls.
+
+    *machines* entries may be preset names **or**
+    :class:`~repro.machine.Machine` objects (generated design points) —
+    mixed freely; results key by the machine's display name either way.
 
     Serves from (in order): the in-process memo, the on-disk artifact
     store, fresh computation (fanned out over *jobs* worker processes
@@ -44,16 +51,21 @@ def run_sweep(
     """
     from repro.kernels import KERNELS
     from repro.machine import preset_names
+    from repro.machine.machine import Machine
 
     machines = machines or preset_names()
     kernels = kernels or KERNELS
-    wanted = [(m, k) for m in machines for k in kernels]
+    by_name = {
+        (m.name if isinstance(m, Machine) else str(m)): m for m in machines
+    }
+    wanted = [(name, k) for name in by_name for k in kernels]
     missing = sorted({m for m, k in wanted if (m, k) not in _MEMO})
     missing_kernels = sorted({k for m, k in wanted if (m, k) not in _MEMO})
     if missing:
-        outcome = _pipeline_sweep(
-            machines=tuple(missing), kernels=tuple(missing_kernels), jobs=jobs
+        tasks = _tasks_for_machines(
+            [by_name[name] for name in missing], tuple(missing_kernels)
         )
+        outcome = _sweep_tasks(tasks, jobs=jobs)
         outcome.raise_on_error()
         for pair, result in outcome.results.items():
             _MEMO.setdefault(pair, result)

@@ -1,0 +1,72 @@
+"""Automated design-space exploration over TTA soft cores.
+
+The paper arrives at its thirteen design points by hand: start from a
+baseline, vary the transport-bus count, prune the interconnect, split or
+merge register files, and keep the variants that trade area against
+cycle count well.  This package automates exactly that walk:
+
+* :mod:`repro.explore.mutate` — seeded, deterministic, validator-safe
+  mutations over machine descriptions (buses, interconnect density, RF
+  ports/partitioning/depth, ALU count, immediate width);
+* :mod:`repro.explore.pareto` — non-dominated selection over
+  (geomean cycles, core LUTs, fmax);
+* :mod:`repro.explore.engine` — the generation loop: mutate the
+  frontier's survivors, evaluate every candidate on every kernel
+  through the sweep pipeline (content-addressed store, parallel
+  executor), score with the analytic FPGA model;
+* :mod:`repro.explore.report` — frontier table and area-vs-runtime
+  scatter in the style of the paper's Figure 6.
+
+The campaign is a pure function of its seed and configuration: frontier
+JSON is byte-identical across runs and cache states, and a killed
+campaign resumes from the artifact store for free.  ``repro explore``
+is the CLI entry point.
+"""
+
+from repro.explore.engine import (
+    EXPLORE_JSON_SCHEMA,
+    ExploreConfig,
+    ExploreError,
+    ExploreResult,
+    InfeasiblePoint,
+    run_explore,
+)
+from repro.explore.mutate import (
+    FU_PALETTE,
+    OPERATORS,
+    campaign_rng,
+    mutate_machine,
+    repair,
+)
+from repro.explore.pareto import (
+    ParetoPoint,
+    dominates,
+    geomean,
+    pareto_frontier,
+)
+from repro.explore.report import (
+    render_explore,
+    render_frontier_figure,
+    render_frontier_table,
+)
+
+__all__ = [
+    "EXPLORE_JSON_SCHEMA",
+    "ExploreConfig",
+    "ExploreError",
+    "ExploreResult",
+    "FU_PALETTE",
+    "InfeasiblePoint",
+    "OPERATORS",
+    "ParetoPoint",
+    "campaign_rng",
+    "dominates",
+    "geomean",
+    "mutate_machine",
+    "pareto_frontier",
+    "render_explore",
+    "render_frontier_figure",
+    "render_frontier_table",
+    "repair",
+    "run_explore",
+]

@@ -1,0 +1,408 @@
+"""Seeded, deterministic mutations over TTA machine descriptions.
+
+Each operator takes a parent :class:`~repro.machine.Machine` and a
+``random.Random`` and returns a *structurally different*, validator-clean
+child (or ``None`` when the operator does not apply to that parent).  The
+operators cover the axes the paper explores by hand between its design
+points: transport-bus count, interconnect density (pruned vs
+fully-connected buses), register-file ports/partitioning/depth, ALU
+count and the short-immediate width.
+
+Determinism contract (property-tested):
+
+* all choices draw from **sorted** views of the machine's sets — a
+  ``frozenset`` never meets the RNG directly, so ``PYTHONHASHSEED``
+  cannot influence the outcome;
+* the RNG is the only source of randomness; the same seed and parent
+  produce byte-identical children in any process;
+* every child is repaired to pass :func:`repro.machine.validate_machine`
+  (connectivity reachability, required-op coverage, ABI register
+  minima) before it is returned — infeasibility beyond the validator
+  (e.g. an unschedulable kernel) is the evaluation loop's concern.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.isa.operations import ALU_OPS, OPS, OpKind
+from repro.machine.components import Bus, FunctionUnit, RegisterFile
+from repro.machine.machine import Machine, MachineStyle
+from repro.machine.presets import _full_destinations, _full_sources
+from repro.machine.serialize import machine_digest, structural_name
+from repro.machine.validate import MachineValidationError, validate_machine
+
+#: hard bounds keeping the search space inside what the encoding,
+#: resource model and scheduler meaningfully cover
+MAX_BUSES = 12
+MAX_ALUS = 4
+MAX_READ_PORTS = 4
+MAX_WRITE_PORTS = 3
+MIN_SIMM_BITS = 4
+MAX_SIMM_BITS = 12
+#: ABI floor: RF0 holds SP + return value + argument registers
+MIN_RF0_REGS = 8
+MIN_TOTAL_REGS = 16
+
+#: the FU palette mutants may instantiate (the multiplier stays unique to
+#: ALU0: the paper's design points all carry exactly one DSP multiplier)
+FU_PALETTE: dict[str, frozenset[str]] = {
+    "alu": frozenset(ALU_OPS) - {"mul"},
+    "alu-lite": frozenset({"add", "sub", "and", "ior", "xor", "eq", "gt", "gtu"}),
+}
+
+
+def campaign_rng(seed: int | str) -> random.Random:
+    """The one RNG of an exploration campaign.
+
+    String-seeded: ``random.Random`` hashes ``str`` seeds with SHA-512,
+    which — unlike ``hash()`` — is independent of ``PYTHONHASHSEED``.
+    """
+    return random.Random(f"explore:{seed}")
+
+
+def _pick(rng: random.Random, items) -> object:
+    """Deterministic choice from any iterable via its sorted view."""
+    ordered = sorted(items)
+    return ordered[rng.randrange(len(ordered))]
+
+
+def _reindex(buses: list[Bus]) -> tuple[Bus, ...]:
+    return tuple(Bus(i, b.sources, b.destinations) for i, b in enumerate(buses))
+
+
+def _valid_endpoints(machine: Machine) -> tuple[frozenset[str], frozenset[str]]:
+    return (
+        _full_sources(machine.all_units, machine.register_files),
+        _full_destinations(machine.all_units, machine.register_files),
+    )
+
+
+def _strip_unknown(machine: Machine) -> Machine:
+    """Drop bus endpoints that no longer name a unit of *machine*."""
+    src_ok, dst_ok = _valid_endpoints(machine)
+    buses = [
+        Bus(b.index, b.sources & src_ok, b.destinations & dst_ok)
+        for b in machine.buses
+    ]
+    return replace(machine, buses=_reindex(buses))
+
+
+def repair(machine: Machine) -> Machine:
+    """Minimal connectivity repair so *machine* passes the validator.
+
+    Deterministic: missing links are grafted onto bus 0 in ``all_units``
+    order.  Used after destructive operators (bus removal, pruning, RF
+    merging) — constructive operators never need it.
+    """
+    machine = _strip_unknown(machine)
+    buses = list(machine.buses)
+    if not buses:
+        src, dst = _valid_endpoints(machine)
+        return replace(machine, buses=(Bus(0, src, dst),))
+    rf_reads = sorted(rf.read_endpoint for rf in machine.register_files)
+    rf_writes = sorted(rf.write_endpoint for rf in machine.register_files)
+    feeds = (*rf_reads, "IMM")
+    for fu in machine.all_units:
+        for port in (fu.trigger_port, fu.operand_port):
+            if not any(b.connects(s, port) for b in buses for s in feeds):
+                buses[0] = Bus(
+                    0,
+                    buses[0].sources | {"IMM", rf_reads[0]},
+                    buses[0].destinations | {port},
+                )
+        if any(OPS[op].has_result for op in fu.ops):
+            if not any(
+                b.connects(fu.result_port, w) for b in buses for w in rf_writes
+            ):
+                buses[0] = Bus(
+                    0,
+                    buses[0].sources | {fu.result_port},
+                    buses[0].destinations | {rf_writes[0]},
+                )
+    return replace(machine, buses=tuple(buses))
+
+
+# ---- operators ----------------------------------------------------------
+# Each returns a (possibly invalid, pre-repair) child or None when
+# inapplicable.  ``mutate_machine`` repairs, validates and names.
+
+
+def _op_add_bus(machine: Machine, rng: random.Random) -> Machine | None:
+    if len(machine.buses) >= MAX_BUSES:
+        return None
+    src, dst = _valid_endpoints(machine)
+    return replace(machine, buses=(*machine.buses, Bus(len(machine.buses), src, dst)))
+
+
+def _op_remove_bus(machine: Machine, rng: random.Random) -> Machine | None:
+    if len(machine.buses) < 2:
+        return None
+    idx = rng.randrange(len(machine.buses))
+    buses = [b for b in machine.buses if b.index != idx]
+    return replace(machine, buses=_reindex(buses))
+
+
+def _op_prune_link(machine: Machine, rng: random.Random) -> Machine | None:
+    """Remove one endpoint from one bus (interconnect mux narrowing)."""
+    candidates = [
+        b for b in machine.buses if len(b.sources) + len(b.destinations) > 2
+    ]
+    if not candidates:
+        return None
+    bus = candidates[rng.randrange(len(candidates))]
+    kind = rng.randrange(2)
+    if kind == 0 and len(bus.sources) > 1:
+        gone = _pick(rng, bus.sources)
+        new = Bus(bus.index, bus.sources - {gone}, bus.destinations)
+    elif len(bus.destinations) > 1:
+        gone = _pick(rng, bus.destinations)
+        new = Bus(bus.index, bus.sources, bus.destinations - {gone})
+    else:
+        return None
+    buses = [new if b.index == bus.index else b for b in machine.buses]
+    return replace(machine, buses=tuple(buses))
+
+
+def _op_densify_link(machine: Machine, rng: random.Random) -> Machine | None:
+    """Add one missing endpoint to one bus (interconnect widening)."""
+    src_ok, dst_ok = _valid_endpoints(machine)
+    sparse = [
+        b
+        for b in machine.buses
+        if (src_ok - b.sources) or (dst_ok - b.destinations)
+    ]
+    if not sparse:
+        return None
+    bus = sparse[rng.randrange(len(sparse))]
+    missing_src = sorted(src_ok - bus.sources)
+    missing_dst = sorted(dst_ok - bus.destinations)
+    grow_src = missing_src and (not missing_dst or rng.randrange(2) == 0)
+    if grow_src:
+        new = Bus(bus.index, bus.sources | {missing_src[rng.randrange(len(missing_src))]}, bus.destinations)
+    else:
+        new = Bus(bus.index, bus.sources, bus.destinations | {missing_dst[rng.randrange(len(missing_dst))]})
+    buses = [new if b.index == bus.index else b for b in machine.buses]
+    return replace(machine, buses=tuple(buses))
+
+
+def _replace_rf(machine: Machine, old: RegisterFile, new: RegisterFile) -> Machine:
+    rfs = tuple(new if rf.name == old.name else rf for rf in machine.register_files)
+    return replace(machine, register_files=rfs)
+
+
+def _op_rf_add_port(machine: Machine, rng: random.Random) -> Machine | None:
+    grow_read = [rf for rf in machine.register_files if rf.read_ports < MAX_READ_PORTS]
+    grow_write = [rf for rf in machine.register_files if rf.write_ports < MAX_WRITE_PORTS]
+    if not grow_read and not grow_write:
+        return None
+    pick_read = grow_read and (not grow_write or rng.randrange(2) == 0)
+    pool = grow_read if pick_read else grow_write
+    rf = pool[rng.randrange(len(pool))]
+    new = (
+        replace(rf, read_ports=rf.read_ports + 1)
+        if pick_read
+        else replace(rf, write_ports=rf.write_ports + 1)
+    )
+    return _replace_rf(machine, rf, new)
+
+
+def _op_rf_drop_port(machine: Machine, rng: random.Random) -> Machine | None:
+    shrink_read = [rf for rf in machine.register_files if rf.read_ports > 1]
+    shrink_write = [rf for rf in machine.register_files if rf.write_ports > 1]
+    if not shrink_read and not shrink_write:
+        return None
+    pick_read = shrink_read and (not shrink_write or rng.randrange(2) == 0)
+    pool = shrink_read if pick_read else shrink_write
+    rf = pool[rng.randrange(len(pool))]
+    new = (
+        replace(rf, read_ports=rf.read_ports - 1)
+        if pick_read
+        else replace(rf, write_ports=rf.write_ports - 1)
+    )
+    return _replace_rf(machine, rf, new)
+
+
+def _op_rf_resize(machine: Machine, rng: random.Random) -> Machine | None:
+    """Step one RF to an adjacent LUTRAM-bank-quantised depth."""
+    rf = machine.register_files[rng.randrange(len(machine.register_files))]
+    depths = (32, 64, 96)
+    options = []
+    for depth in depths:
+        if depth == rf.size:
+            continue
+        floor = MIN_RF0_REGS if rf.name == machine.register_files[0].name else 1
+        if depth < floor:
+            continue
+        if machine.total_registers - rf.size + depth < MIN_TOTAL_REGS:
+            continue
+        options.append(depth)
+    if not options:
+        return None
+    return _replace_rf(machine, rf, replace(rf, size=options[rng.randrange(len(options))]))
+
+
+def _next_name(prefix: str, taken: set[str]) -> str:
+    i = 0
+    while f"{prefix}{i}" in taken:
+        i += 1
+    return f"{prefix}{i}"
+
+
+def _op_rf_split(machine: Machine, rng: random.Random) -> Machine | None:
+    """Partition one deep RF into two halves (the paper's m- → p- move)."""
+    splittable = [
+        rf
+        for rf in machine.register_files
+        if rf.size >= 64 and rf.size % 2 == 0
+    ]
+    if not splittable:
+        return None
+    rf = splittable[rng.randrange(len(splittable))]
+    taken = {r.name for r in machine.register_files}
+    new_name = _next_name("RF", taken)
+    half = replace(rf, size=rf.size // 2)
+    sibling = RegisterFile(
+        new_name, rf.size // 2, read_ports=rf.read_ports, write_ports=rf.write_ports
+    )
+    rfs = tuple(
+        half if r.name == rf.name else r for r in machine.register_files
+    ) + (sibling,)
+    # the new partition inherits the old file's connectivity
+    buses = tuple(
+        Bus(
+            b.index,
+            b.sources | ({sibling.read_endpoint} if rf.read_endpoint in b.sources else frozenset()),
+            b.destinations | ({sibling.write_endpoint} if rf.write_endpoint in b.destinations else frozenset()),
+        )
+        for b in machine.buses
+    )
+    return replace(machine, register_files=rfs, buses=buses)
+
+
+def _op_rf_merge(machine: Machine, rng: random.Random) -> Machine | None:
+    """Fuse two partitions into one deeper file (the p- → m- move)."""
+    if len(machine.register_files) < 2:
+        return None
+    keep, gone = machine.register_files[-2], machine.register_files[-1]
+    merged = replace(
+        keep,
+        size=keep.size + gone.size,
+        read_ports=max(keep.read_ports, gone.read_ports),
+        write_ports=max(keep.write_ports, gone.write_ports),
+    )
+    rfs = tuple(
+        merged if r.name == keep.name else r
+        for r in machine.register_files
+        if r.name != gone.name
+    )
+    # buses that reached the removed file now reach the merged one
+    buses = tuple(
+        Bus(
+            b.index,
+            (b.sources | ({keep.read_endpoint} if gone.read_endpoint in b.sources else frozenset())) - {gone.read_endpoint},
+            (b.destinations | ({keep.write_endpoint} if gone.write_endpoint in b.destinations else frozenset())) - {gone.write_endpoint},
+        )
+        for b in machine.buses
+    )
+    return replace(machine, register_files=rfs, buses=buses)
+
+
+def _alus(machine: Machine) -> list[FunctionUnit]:
+    return [fu for fu in machine.function_units if fu.kind is OpKind.ALU]
+
+
+def _op_fu_add(machine: Machine, rng: random.Random) -> Machine | None:
+    """Instantiate one FU from the palette, fully connected."""
+    if len(_alus(machine)) >= MAX_ALUS:
+        return None
+    kind = sorted(FU_PALETTE)[rng.randrange(len(FU_PALETTE))]
+    taken = {fu.name for fu in machine.all_units}
+    fu = FunctionUnit(_next_name("ALU", taken), OpKind.ALU, FU_PALETTE[kind])
+    fus = (*machine.function_units, fu)
+    buses = tuple(
+        Bus(
+            b.index,
+            b.sources | {fu.result_port},
+            b.destinations | {fu.trigger_port, fu.operand_port},
+        )
+        for b in machine.buses
+    )
+    return replace(machine, function_units=fus, buses=buses)
+
+
+def _op_fu_remove(machine: Machine, rng: random.Random) -> Machine | None:
+    """Remove one ALU — never the multiplier host (required-op coverage)."""
+    removable = [fu for fu in _alus(machine) if "mul" not in fu.ops]
+    if not removable:
+        return None
+    gone = removable[rng.randrange(len(removable))]
+    fus = tuple(fu for fu in machine.function_units if fu.name != gone.name)
+    return replace(machine, function_units=fus)
+
+
+def _op_imm_width(machine: Machine, rng: random.Random) -> Machine | None:
+    options = [
+        w
+        for w in (machine.simm_bits - 1, machine.simm_bits + 1)
+        if MIN_SIMM_BITS <= w <= MAX_SIMM_BITS
+    ]
+    if not options:
+        return None
+    return replace(machine, simm_bits=options[rng.randrange(len(options))])
+
+
+#: name -> operator, iterated in sorted-name order everywhere
+OPERATORS: dict[str, object] = {
+    "add-bus": _op_add_bus,
+    "remove-bus": _op_remove_bus,
+    "prune-link": _op_prune_link,
+    "densify-link": _op_densify_link,
+    "rf-add-port": _op_rf_add_port,
+    "rf-drop-port": _op_rf_drop_port,
+    "rf-resize": _op_rf_resize,
+    "rf-split": _op_rf_split,
+    "rf-merge": _op_rf_merge,
+    "fu-add": _op_fu_add,
+    "fu-remove": _op_fu_remove,
+    "imm-width": _op_imm_width,
+}
+
+
+def mutate_machine(
+    parent: Machine,
+    rng: random.Random,
+    *,
+    operators: tuple[str, ...] | None = None,
+) -> Machine | None:
+    """One validated, structurally-new child of *parent*, or ``None``.
+
+    Only TTA parents are mutable (the exploration space of the paper);
+    the child's ``name`` is its :func:`structural_name` — a pure function
+    of its architecture — and its ``description`` records the lineage.
+    """
+    if parent.style is not MachineStyle.TTA:
+        return None
+    names = sorted(operators if operators is not None else OPERATORS)
+    order = names[:]
+    rng.shuffle(order)
+    parent_digest = machine_digest(parent)
+    for op_name in order:
+        child = OPERATORS[op_name](parent, rng)
+        if child is None:
+            continue
+        child = repair(child)
+        try:
+            validate_machine(child)
+        except MachineValidationError:
+            continue
+        if machine_digest(child) == parent_digest:
+            continue
+        child = replace(
+            child,
+            name=structural_name(child),
+            description=f"{parent.name} + {op_name}",
+        )
+        return child
+    return None

@@ -1,0 +1,80 @@
+"""Pareto-frontier selection over (cycles, area, fmax).
+
+A design point is interesting when nothing else is at least as good on
+every axis and strictly better on one: fewer (geomean) cycles, fewer
+core LUTs, higher fmax.  The frontier is what the exploration engine
+reports and what seeds the next generation's mutations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated design point in objective space.
+
+    ``cycles`` is the geometric mean over the campaign's kernels (the
+    paper's summary statistic); ``per_kernel`` keeps the raw counts so a
+    frontier member can be re-verified pair by pair.
+    """
+
+    name: str
+    digest: str
+    cycles: float
+    core_luts: int
+    fmax_mhz: float
+    per_kernel: dict[str, int] = field(default_factory=dict)
+    origin: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "digest": self.digest,
+            "cycles_geomean": round(self.cycles, 3),
+            "core_luts": self.core_luts,
+            "fmax_mhz": self.fmax_mhz,
+            "per_kernel": dict(sorted(self.per_kernel.items())),
+            "origin": self.origin,
+        }
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when *a* is at least as good as *b* everywhere and strictly
+    better somewhere (minimise cycles and LUTs, maximise fmax)."""
+    no_worse = (
+        a.cycles <= b.cycles
+        and a.core_luts <= b.core_luts
+        and a.fmax_mhz >= b.fmax_mhz
+    )
+    better = (
+        a.cycles < b.cycles
+        or a.core_luts < b.core_luts
+        or a.fmax_mhz > b.fmax_mhz
+    )
+    return no_worse and better
+
+
+def pareto_frontier(points) -> list[ParetoPoint]:
+    """The non-dominated subset of *points*, deterministically ordered.
+
+    Structural duplicates (same digest) collapse to one entry; ordering
+    is (cycles, LUTs, -fmax, digest) so the frontier — and any JSON
+    derived from it — is byte-stable across runs and processes.
+    """
+    unique: dict[str, ParetoPoint] = {}
+    for p in points:
+        unique.setdefault(p.digest, p)
+    pool = list(unique.values())
+    frontier = [
+        p for p in pool if not any(dominates(q, p) for q in pool if q is not p)
+    ]
+    frontier.sort(key=lambda p: (p.cycles, p.core_luts, -p.fmax_mhz, p.digest))
+    return frontier

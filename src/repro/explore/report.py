@@ -1,0 +1,101 @@
+"""Plain-text rendering of an exploration campaign's outcome.
+
+Mirrors the style of :mod:`repro.eval.report`: an aligned frontier table
+(one row per non-dominated design point) plus a figure-6-style
+area-vs-runtime scatter of every frontier member against the campaign
+baselines, so an exploration run reads like the paper's own
+design-space summary.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import format_table
+from repro.explore.engine import ExploreResult
+
+
+def frontier_rows(result: ExploreResult) -> list[dict]:
+    rows = []
+    for point in result.frontier:
+        rows.append(
+            {
+                "design": point.name,
+                "cycles(geo)": f"{point.cycles:.1f}",
+                "core_luts": point.core_luts,
+                "fmax": f"{point.fmax_mhz:.1f}MHz",
+                "origin": point.origin,
+            }
+        )
+    return rows
+
+
+def render_frontier_table(result: ExploreResult) -> str:
+    title = (
+        f"Pareto frontier after {result.history[-1]['generation']} "
+        f"generation(s), seed {result.config.seed} "
+        f"({result.stats.evaluated} feasible / "
+        f"{result.stats.infeasible} infeasible candidates)"
+    )
+    return format_table(frontier_rows(result), title)
+
+
+def render_frontier_figure(
+    result: ExploreResult, width: int = 56, height: int = 14
+) -> str:
+    """ASCII scatter of core LUTs (x) vs geomean cycles (y).
+
+    The analog of the paper's Figure 6 for a generated design space:
+    down and to the left is better; letters key into the legend, ``*``
+    marks a campaign baseline.
+    """
+    points = result.frontier
+    if not points:
+        return "(empty frontier)"
+    xs = [p.core_luts for p in points]
+    ys = [p.cycles for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1)
+    y_span = max(y_hi - y_lo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    base_names = set(result.config.base)
+    for i, p in enumerate(points):
+        col = round((p.core_luts - x_lo) / x_span * (width - 1))
+        # fastest designs sit at the bottom: down-and-left is better
+        row = round((y_hi - p.cycles) / y_span * (height - 1))
+        mark = "*" if p.name in base_names else chr(ord("a") + i % 26)
+        grid[row][col] = mark
+        legend.append(
+            f"  {mark} {p.name}  luts={p.core_luts} cycles={p.cycles:.1f} "
+            f"fmax={p.fmax_mhz:.1f}"
+        )
+    lines = [
+        f"geomean cycles ({y_lo:.0f}..{y_hi:.0f}) vs core LUTs ({x_lo}..{x_hi})"
+    ]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width)
+    lines += legend
+    return "\n".join(lines)
+
+
+def render_explore(result: ExploreResult) -> str:
+    parts = [render_frontier_table(result), ""]
+    parts.append("Generation history:")
+    for row in result.history:
+        parts.append(
+            f"  gen {row['generation']}: {row['candidates']} candidate(s), "
+            f"{row['feasible_total']} feasible total, "
+            f"frontier {row['frontier_size']}"
+        )
+    if result.infeasible:
+        parts.append("")
+        parts.append(f"Infeasible design points ({len(result.infeasible)}):")
+        for p in result.infeasible[:10]:
+            parts.append(
+                f"  {p.name} ({p.origin}): {p.kernel}: {p.error_type}: {p.message}"
+            )
+        if len(result.infeasible) > 10:
+            parts.append(f"  ... and {len(result.infeasible) - 10} more")
+    parts.append("")
+    parts.append(render_frontier_figure(result))
+    return "\n".join(parts)

@@ -23,6 +23,7 @@ datapath is a TTA with a fully-connected bypass network).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.machine.components import Bus, FunctionUnit, RegisterFile
 from repro.machine.encoding import encode_machine
@@ -44,6 +45,32 @@ MICROBLAZE_RESOURCES = {
     "mblaze-3": {"core_luts": 715, "rf_luts": 128, "lutram": 128, "ic_luts": 0, "ffs": 303, "dsps": 3},
     "mblaze-5": {"core_luts": 829, "rf_luts": 64, "lutram": 64, "ic_luts": 0, "ffs": 582, "dsps": 3},
 }
+
+
+@lru_cache(maxsize=1)
+def _vendor_digests() -> dict[str, str]:
+    """Structural digest -> vendor preset name for the measured cores."""
+    from repro.machine.presets import build_machine
+    from repro.machine.serialize import machine_digest
+
+    return {
+        machine_digest(build_machine(name)): name
+        for name in MICROBLAZE_RESOURCES
+    }
+
+
+def vendor_preset_name(machine: Machine) -> str | None:
+    """Vendor preset whose *measured* numbers apply to *machine*, if any.
+
+    Matching is **structural** (name/description-blind digest): a
+    renamed clone of a measured core still gets the vendor constants,
+    while a machine merely *named* like one -- e.g. an exploration
+    mutant derived from it -- falls through to the analytic model
+    instead of inheriting measurements of hardware it no longer is.
+    """
+    from repro.machine.serialize import machine_digest
+
+    return _vendor_digests().get(machine_digest(machine))
 
 
 @dataclass(frozen=True)
@@ -133,9 +160,9 @@ def _decode_luts(machine: Machine) -> int:
 
 def estimate_resources(machine: Machine) -> ResourceReport:
     """Estimate the FPGA resources of *machine*."""
-    if machine.name in MICROBLAZE_RESOURCES:
-        fixed = MICROBLAZE_RESOURCES[machine.name]
-        return ResourceReport(machine.name, **fixed)
+    vendor = vendor_preset_name(machine)
+    if vendor is not None:
+        return ResourceReport(machine.name, **MICROBLAZE_RESOURCES[vendor])
 
     rf_total = 0
     ram_total = 0

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 
-from repro.fpga.resources import _transport_structure
+from repro.fpga.resources import _transport_structure, vendor_preset_name
 from repro.machine.machine import Machine
 
 _BASE_NS = 4.0
@@ -54,8 +54,16 @@ def _ic_delay(machine: Machine) -> float:
 
 
 def estimate_fmax(machine: Machine) -> float:
-    """Estimated maximum clock frequency in MHz."""
-    if machine.name in MICROBLAZE_FMAX:
-        return MICROBLAZE_FMAX[machine.name]
+    """Estimated maximum clock frequency in MHz.
+
+    Machines structurally identical to a measured MicroBlaze core (by
+    name-blind digest, see
+    :func:`repro.fpga.resources.vendor_preset_name`) report the vendor
+    measurement; everything else — presets and generated design points
+    alike — goes through the analytic model.
+    """
+    vendor = vendor_preset_name(machine)
+    if vendor is not None:
+        return MICROBLAZE_FMAX[vendor]
     delay = _BASE_NS + _rf_delay(machine) + _ic_delay(machine)
     return round(1000.0 / delay, 1)

@@ -17,6 +17,14 @@ from repro.machine.presets import (
     build_machine,
     preset_names,
 )
+from repro.machine.serialize import (
+    machine_digest,
+    machine_from_dict,
+    machine_from_json,
+    machine_to_dict,
+    machine_to_json,
+    structural_name,
+)
 from repro.machine.validate import MachineValidationError, validate_machine
 
 __all__ = [
@@ -32,6 +40,12 @@ __all__ = [
     "SINGLE_ISSUE_PRESETS",
     "build_machine",
     "encode_machine",
+    "machine_digest",
+    "machine_from_dict",
+    "machine_from_json",
+    "machine_to_dict",
+    "machine_to_json",
     "preset_names",
+    "structural_name",
     "validate_machine",
 ]

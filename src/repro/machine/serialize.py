@@ -1,0 +1,193 @@
+"""Machine (de)serialization and structural identity.
+
+A :class:`~repro.machine.machine.Machine` is a value: every architectural
+field is immutable and canonically orderable.  This module gives that
+value three interchangeable representations:
+
+* ``machine_to_dict`` / ``machine_from_dict`` -- a JSON-serialisable
+  description (the same canonical layout the pipeline fingerprints), and
+  its exact inverse, so generated design points can cross process
+  boundaries, live in sweep tasks, and be re-materialised from a stored
+  exploration frontier;
+* ``machine_to_json`` / ``machine_from_json`` -- the canonical JSON text
+  form (sorted keys, no whitespace), byte-deterministic across processes
+  and ``PYTHONHASHSEED`` values;
+* ``machine_digest`` -- a hex SHA-256 over the *structure only* (name
+  and description excluded), the identity used to deduplicate generated
+  machines and to key measured vendor constants structurally instead of
+  by preset name.
+
+``structural_name`` derives a stable display name (``x-<digest12>``) for
+machines produced by the exploration mutation engine, so a mutant's name
+is a pure function of its architecture.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+
+from repro.isa.operations import OpKind
+from repro.machine.components import Bus, FunctionUnit, RegisterFile
+from repro.machine.machine import Machine, MachineStyle, ScalarTiming
+
+#: bump when the serialised machine layout changes incompatibly
+MACHINE_SCHEMA = 1
+
+_TIMING_FIELDS = (
+    "load_extra",
+    "store_extra",
+    "mul_extra",
+    "shift_extra",
+    "taken_branch_extra",
+    "untaken_branch_extra",
+    "call_extra",
+    "pipeline_stages",
+)
+
+
+def machine_to_dict(machine: Machine) -> dict:
+    """Canonical, JSON-serialisable description of a design point.
+
+    Every field that can influence compilation, simulation or synthesis
+    is included; every unordered collection is sorted.  The control unit
+    rides in ``function_units`` (always last, identified by its ``cu``
+    kind), matching :attr:`Machine.all_units` order.
+    """
+    desc: dict = {
+        "name": machine.name,
+        "style": machine.style.value,
+        "issue_width": machine.issue_width,
+        "simm_bits": machine.simm_bits,
+        "jump_latency": machine.jump_latency,
+        "function_units": [
+            {"name": fu.name, "kind": fu.kind.value, "ops": sorted(fu.ops)}
+            for fu in machine.all_units
+        ],
+        "register_files": [
+            {
+                "name": rf.name,
+                "size": rf.size,
+                "width": rf.width,
+                "read_ports": rf.read_ports,
+                "write_ports": rf.write_ports,
+            }
+            for rf in machine.register_files
+        ],
+        "buses": [
+            {
+                "index": bus.index,
+                "sources": sorted(bus.sources),
+                "destinations": sorted(bus.destinations),
+            }
+            for bus in machine.buses
+        ],
+    }
+    if machine.scalar_timing is not None:
+        timing = machine.scalar_timing
+        desc["scalar_timing"] = {f: getattr(timing, f) for f in _TIMING_FIELDS}
+    return desc
+
+
+def machine_from_dict(desc: dict) -> Machine:
+    """Inverse of :func:`machine_to_dict`.
+
+    Raises ``ValueError`` when the description is not a well-formed
+    machine (wrong control-unit count, unknown style/kind, missing
+    fields) -- structural *usability* is the validator's job, not this
+    function's.
+    """
+    try:
+        style = MachineStyle(desc["style"])
+        units = tuple(
+            FunctionUnit(str(u["name"]), OpKind(u["kind"]), frozenset(u["ops"]))
+            for u in desc["function_units"]
+        )
+        register_files = tuple(
+            RegisterFile(
+                str(rf["name"]),
+                int(rf["size"]),
+                read_ports=int(rf["read_ports"]),
+                write_ports=int(rf["write_ports"]),
+                width=int(rf.get("width", 32)),
+            )
+            for rf in desc["register_files"]
+        )
+        buses = tuple(
+            Bus(
+                int(b["index"]),
+                frozenset(str(s) for s in b["sources"]),
+                frozenset(str(d) for d in b["destinations"]),
+            )
+            for b in desc.get("buses", ())
+        )
+        timing = None
+        if desc.get("scalar_timing") is not None:
+            timing = ScalarTiming(
+                **{f: int(desc["scalar_timing"][f]) for f in _TIMING_FIELDS}
+            )
+        name = str(desc["name"])
+        issue_width = int(desc["issue_width"])
+        simm_bits = int(desc["simm_bits"])
+        jump_latency = int(desc["jump_latency"])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed machine description: {exc!r}") from exc
+    control = tuple(u for u in units if u.kind is OpKind.CU)
+    if len(control) != 1:
+        raise ValueError(
+            f"machine description must contain exactly one control unit, "
+            f"got {len(control)}"
+        )
+    return Machine(
+        name=name,
+        style=style,
+        issue_width=issue_width,
+        function_units=tuple(u for u in units if u.kind is not OpKind.CU),
+        control_unit=control[0],
+        register_files=register_files,
+        buses=buses,
+        simm_bits=simm_bits,
+        jump_latency=jump_latency,
+        scalar_timing=timing,
+        description=str(desc.get("description", "")),
+    )
+
+
+def _canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def machine_to_json(machine: Machine) -> str:
+    """Canonical JSON text of :func:`machine_to_dict` (sorted keys, no
+    whitespace) -- byte-deterministic for a given machine."""
+    return _canonical_json(machine_to_dict(machine))
+
+
+def machine_from_json(text: str) -> Machine:
+    """Inverse of :func:`machine_to_json`."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError(f"machine JSON must be an object, got {type(payload).__name__}")
+    return machine_from_dict(payload)
+
+
+@lru_cache(maxsize=4096)
+def machine_digest(machine: Machine) -> str:
+    """Hex SHA-256 over the machine's *structure*.
+
+    The name and description are excluded: two design points with
+    identical datapaths share a digest regardless of what they are
+    called.  This is the identity used to deduplicate exploration
+    candidates and to recognise the measured (vendor-IP) design points
+    structurally.
+    """
+    desc = machine_to_dict(machine)
+    desc.pop("name", None)
+    desc.pop("description", None)
+    return hashlib.sha256(_canonical_json(desc).encode()).hexdigest()
+
+
+def structural_name(machine: Machine, prefix: str = "x") -> str:
+    """Deterministic display name for a generated design point."""
+    return f"{prefix}-{machine_digest(machine)[:12]}"

@@ -34,6 +34,7 @@ from repro.pipeline.fingerprint import (
     describe_machine,
     fingerprint,
     job_fingerprint,
+    resolve_task_machine,
     task_fingerprint,
     toolchain_fingerprint,
 )
@@ -44,7 +45,14 @@ from repro.pipeline.store import (
     default_cache_dir,
     default_store,
 )
-from repro.pipeline.sweep import build_tasks, compile_cached, parse_subset, sweep
+from repro.pipeline.sweep import (
+    build_tasks,
+    compile_cached,
+    parse_subset,
+    sweep,
+    sweep_tasks,
+    tasks_for_machines,
+)
 from repro.pipeline.types import (
     SWEEP_JSON_SCHEMA,
     EvalResult,
@@ -76,9 +84,12 @@ __all__ = [
     "fingerprint",
     "job_fingerprint",
     "parse_subset",
+    "resolve_task_machine",
     "result_extras",
     "run_tasks",
     "sweep",
+    "sweep_tasks",
     "task_fingerprint",
+    "tasks_for_machines",
     "toolchain_fingerprint",
 ]

@@ -71,10 +71,11 @@ def execute_task(task: SweepTask) -> EvalResult:
     from repro.backend import compile_for_machine
     from repro.fpga import synthesize
     from repro.frontend import compile_source
-    from repro.machine import build_machine, encode_machine
+    from repro.machine import encode_machine
+    from repro.pipeline.fingerprint import resolve_task_machine
     from repro.sim import run_compiled
 
-    machine = build_machine(task.machine)
+    machine = resolve_task_machine(task)
     module = compile_source(
         task.source, module_name=task.kernel, optimize=task.optimize
     )

@@ -32,56 +32,12 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.machine.machine import Machine
+from repro.machine.serialize import machine_from_json, machine_to_dict
 
-
-def describe_machine(machine: Machine) -> dict:
-    """Canonical, JSON-serialisable description of a design point.
-
-    Every field that can influence compilation, simulation or synthesis
-    is included; every unordered collection is sorted.
-    """
-    desc: dict = {
-        "name": machine.name,
-        "style": machine.style.value,
-        "issue_width": machine.issue_width,
-        "simm_bits": machine.simm_bits,
-        "jump_latency": machine.jump_latency,
-        "function_units": [
-            {"name": fu.name, "kind": fu.kind.value, "ops": sorted(fu.ops)}
-            for fu in machine.all_units
-        ],
-        "register_files": [
-            {
-                "name": rf.name,
-                "size": rf.size,
-                "width": rf.width,
-                "read_ports": rf.read_ports,
-                "write_ports": rf.write_ports,
-            }
-            for rf in machine.register_files
-        ],
-        "buses": [
-            {
-                "index": bus.index,
-                "sources": sorted(bus.sources),
-                "destinations": sorted(bus.destinations),
-            }
-            for bus in machine.buses
-        ],
-    }
-    if machine.scalar_timing is not None:
-        timing = machine.scalar_timing
-        desc["scalar_timing"] = {
-            "load_extra": timing.load_extra,
-            "store_extra": timing.store_extra,
-            "mul_extra": timing.mul_extra,
-            "shift_extra": timing.shift_extra,
-            "taken_branch_extra": timing.taken_branch_extra,
-            "untaken_branch_extra": timing.untaken_branch_extra,
-            "call_extra": timing.call_extra,
-            "pipeline_stages": timing.pipeline_stages,
-        }
-    return desc
+#: canonical machine description used inside fingerprints -- one layout
+#: shared with the serialisation layer so a task's ``machine_desc`` and
+#: its cache key can never disagree about what a field means
+describe_machine = machine_to_dict
 
 
 def _canonical_json(payload) -> bytes:
@@ -179,14 +135,30 @@ def job_fingerprint(
     return hashlib.sha256(_canonical_json(payload)).hexdigest()
 
 
+def resolve_task_machine(task) -> Machine:
+    """The :class:`Machine` a task targets.
+
+    Tasks carrying a ``machine_desc`` (canonical machine JSON) describe
+    *generated* design points -- exploration mutants, ad-hoc machines --
+    and are materialised from that description; tasks without one name a
+    built-in preset.  This is the single lookup the executor and the
+    fingerprint layer share, so a generated machine is measured and
+    cache-keyed structurally instead of KeyErroring on its name.
+    """
+    desc = getattr(task, "machine_desc", None)
+    if desc:
+        return machine_from_json(desc)
+    from repro.machine import build_machine
+
+    return build_machine(task.machine)
+
+
 def task_fingerprint(
     task, *, toolchain: str | None = None, engine_version: int | None = None
 ) -> str:
     """Fingerprint for a :class:`~repro.pipeline.types.SweepTask`."""
-    from repro.machine import build_machine
-
     return fingerprint(
-        build_machine(task.machine),
+        resolve_task_machine(task),
         task.source,
         mode=task.mode,
         optimize=task.optimize,

@@ -105,6 +105,57 @@ def build_tasks(
     ]
 
 
+def tasks_for_machines(
+    machines: Iterable,
+    kernels: Iterable[str] | str | None = None,
+    *,
+    sources: dict[str, str] | None = None,
+    mode: str = "fast",
+    optimize: bool = True,
+) -> list[SweepTask]:
+    """Tasks over explicit :class:`~repro.machine.Machine` objects.
+
+    The generated-design-point entry into the pipeline: each machine is
+    serialised into its task (``machine_desc``), so the executor and the
+    fingerprint layer measure and cache it structurally -- no preset
+    registry involvement.  Preset *names* in *machines* are accepted too
+    and ride as plain named tasks.
+    """
+    from repro.kernels import KERNELS, kernel_source
+    from repro.machine import preset_names
+    from repro.machine.machine import Machine
+    from repro.machine.serialize import machine_to_json
+
+    if sources is None:
+        kernel_names = parse_subset(kernels, KERNELS, "kernel")
+        sources = {name: kernel_source(name) for name in kernel_names}
+    else:
+        kernel_names = (
+            tuple(sources) if kernels is None
+            else parse_subset(kernels, tuple(sources), "kernel")
+        )
+    known = preset_names()
+    tasks: list[SweepTask] = []
+    for machine in machines:
+        if isinstance(machine, Machine):
+            name, desc = machine.name, machine_to_json(machine)
+        else:
+            name, desc = str(machine), None
+            parse_subset((name,), known, "machine")
+        tasks.extend(
+            SweepTask(
+                machine=name,
+                kernel=k,
+                source=sources[k],
+                mode=mode,
+                optimize=optimize,
+                machine_desc=desc,
+            )
+            for k in kernel_names
+        )
+    return tasks
+
+
 def sweep(
     machines: Iterable[str] | str | None = None,
     kernels: Iterable[str] | str | None = None,
@@ -134,11 +185,47 @@ def sweep(
     the *calling* process, the sweep's own phases (fingerprinting/cache
     lookup, fan-out, writeback) are spanned there as well.
     """
-    started = time.perf_counter()
     with obs.span("sweep.plan"):
         tasks = build_tasks(
             machines, kernels, sources=sources, mode=mode, optimize=optimize
         )
+    return sweep_tasks(
+        tasks,
+        jobs=jobs,
+        retries=retries,
+        store=store,
+        use_cache=use_cache,
+        refresh=refresh,
+        progress=progress,
+        trace=trace,
+    )
+
+
+def sweep_tasks(
+    tasks: list[SweepTask],
+    *,
+    jobs: int = 1,
+    retries: int = 1,
+    store: ArtifactStore | None = None,
+    use_cache: bool = True,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
+    trace: bool = False,
+) -> SweepOutcome:
+    """Evaluate an explicit task list through cache + executor.
+
+    The task-level half of :func:`sweep`: callers that *generate* their
+    design points (the exploration engine, the service layer) build
+    tasks themselves -- via :func:`tasks_for_machines` or directly --
+    and share the exact cache/fan-out/ordering machinery of the preset
+    matrix.
+
+    Fresh results are written back to the store **as each task
+    completes** (not at the end of the batch), so a campaign killed
+    mid-flight resumes from everything already measured: on the rerun
+    those pairs are cache hits, not re-executions.
+    """
+    started = time.perf_counter()
     outcome = SweepOutcome()
     outcome.stats.total = len(tasks)
 
@@ -167,6 +254,12 @@ def sweep(
         base_done = len(cached)
 
         def _progress(done: int, _total: int, task: SweepTask, result) -> None:
+            # Write back *before* announcing completion: a caller that
+            # aborts from its progress callback (or is killed right
+            # after) never loses a finished measurement.
+            if isinstance(result, EvalResult) and active_store is not None:
+                with obs.span("sweep.writeback"):
+                    active_store.store_result(keys[task.pair], result)
             if progress:
                 progress(base_done + done, len(tasks), task, result)
 
@@ -188,9 +281,6 @@ def sweep(
                     if not k.startswith("_")
                 })
             fresh[task.pair] = result
-            if isinstance(result, EvalResult) and active_store is not None:
-                with obs.span("sweep.writeback"):
-                    active_store.store_result(keys[task.pair], result)
     if progress and not misses:
         # fully warm sweep: still announce completion once per pair
         for i, task in enumerate(tasks, 1):

@@ -104,11 +104,16 @@ class SweepTask:
     """One measurement request: compile *source* for *machine*, run it.
 
     Attributes:
-        machine: preset name of the design point.
+        machine: design-point name -- a preset name, or the display name
+            of a generated machine when ``machine_desc`` is set.
         kernel: display name of the workload.
         source: MiniC source text (hashed into the fingerprint).
         mode: simulation engine (``fast`` or ``checked``).
         optimize: run the IR optimisation pipeline before scheduling.
+        machine_desc: canonical machine JSON
+            (:func:`repro.machine.machine_to_json`) for design points
+            that are not presets -- exploration mutants, ad-hoc
+            machines.  ``None`` means *machine* names a preset.
     """
 
     machine: str
@@ -116,6 +121,7 @@ class SweepTask:
     source: str
     mode: str = "fast"
     optimize: bool = True
+    machine_desc: str | None = None
 
     @property
     def pair(self) -> tuple[str, str]:

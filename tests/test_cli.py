@@ -290,3 +290,41 @@ class TestFuzzCLI:
     def test_fuzz_zero_count_is_a_no_op_campaign(self, tmp_path, capsys):
         assert self._fuzz(tmp_path, "--count", "0") == 0
         assert "fuzzed 0 kernels" in capsys.readouterr().err
+
+
+class TestExploreCLI:
+    def test_explore_tiny_campaign_with_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "frontier.json"
+        assert main([
+            "explore", "--seed", "0", "--generations", "1", "--population", "2",
+            "--base", "m-tta-1", "--kernels", "mips", "--mode", "fast",
+            "--no-cache", "-q", "--out", str(out_file),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "Pareto frontier" in captured.out
+        assert "explored" in captured.err
+        import json as _json
+
+        payload = _json.loads(out_file.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["frontier"]
+        assert payload["config"]["seed"] == 0
+
+    def test_explore_json_mode(self, capsys):
+        assert main([
+            "explore", "--generations", "0", "--population", "1",
+            "--base", "m-tta-1", "--kernels", "mips", "--mode", "fast",
+            "--no-cache", "-q", "--json",
+        ]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in payload["frontier"]] == ["m-tta-1"]
+
+    def test_explore_rejects_bad_inputs(self, capsys):
+        assert main(["explore", "--base", "mblaze-3", "--no-cache", "-q"]) == 2
+        assert "TTA" in capsys.readouterr().err
+        assert main(["explore", "--kernels", "nope", "--no-cache", "-q"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+        assert main(["explore", "--jobs", "0", "--no-cache", "-q"]) == 2
+        assert "--jobs" in capsys.readouterr().err

@@ -1,0 +1,189 @@
+"""Evaluation-side tests of the exploration engine: the monotonicity
+oracle, generated-machine pipeline plumbing, Pareto selection and
+campaign determinism."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.explore import (
+    ExploreConfig,
+    ExploreError,
+    ParetoPoint,
+    dominates,
+    pareto_frontier,
+    render_explore,
+    run_explore,
+)
+from repro.machine import build_machine, machine_to_json, structural_name
+from repro.machine.components import Bus
+from repro.pipeline import SweepTask, execute_task, sweep_tasks, tasks_for_machines
+
+TINY = "int main(void){ int i; int s=0; for(i=0;i<6;i++) s+=i; return s-15; }"
+
+
+def _fewer_buses(machine, drop: int = 1):
+    """A strict connectivity subgraph: the same machine minus *drop* of
+    its (identical, fully-connected) buses."""
+    kept = machine.buses[: len(machine.buses) - drop]
+    pruned = replace(
+        machine,
+        buses=tuple(Bus(i, b.sources, b.destinations) for i, b in enumerate(kept)),
+    )
+    return replace(pruned, name=structural_name(pruned), description="pruned")
+
+
+class TestGeneratedMachinePipeline:
+    def test_execute_task_resolves_machine_desc(self):
+        machine = _fewer_buses(build_machine("m-tta-2"))
+        task = SweepTask(
+            machine=machine.name,
+            kernel="tiny",
+            source=TINY,
+            mode="fast",
+            machine_desc=machine_to_json(machine),
+        )
+        result = execute_task(task)
+        assert result.exit_code == 0
+        assert result.machine == machine.name
+
+    def test_named_task_for_unknown_machine_fails(self):
+        task = SweepTask(machine="no-such-machine", kernel="tiny", source=TINY)
+        with pytest.raises(KeyError):
+            execute_task(task)
+
+    def test_tasks_for_machines_mixes_presets_and_objects(self):
+        machine = _fewer_buses(build_machine("m-tta-2"))
+        tasks = tasks_for_machines([machine, "m-tta-1"], sources={"tiny": TINY})
+        assert [t.machine for t in tasks] == [machine.name, "m-tta-1"]
+        assert tasks[0].machine_desc is not None
+        assert tasks[1].machine_desc is None
+        outcome = sweep_tasks(tasks, use_cache=False)
+        assert outcome.ok
+        assert {r.exit_code for r in outcome.results.values()} == {0}
+
+    def test_run_sweep_accepts_machine_objects(self):
+        from repro.eval.runner import run_sweep, sweep_cache_clear
+
+        machine = _fewer_buses(build_machine("m-tta-2"))
+        sweep_cache_clear()
+        results = run_sweep(machines=(machine, "m-tta-1"), kernels=("mips",))
+        assert set(results) == {(machine.name, "mips"), ("m-tta-1", "mips")}
+        # memoised: identical objects on the second call
+        again = run_sweep(machines=(machine,), kernels=("mips",))
+        assert again[(machine.name, "mips")] is results[(machine.name, "mips")]
+        sweep_cache_clear()
+
+    def test_tasks_for_machines_rejects_unknown_preset_names(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            tasks_for_machines(["no-such-machine"], sources={"tiny": TINY})
+
+
+class TestMonotonicityOracle:
+    """A machine whose connectivity is a strict subgraph of a preset's
+    can never need *fewer* cycles: the scheduler only loses freedom."""
+
+    @pytest.mark.parametrize("kernel", ("mips", "motion"))
+    def test_fewer_buses_never_faster(self, kernel):
+        from repro.kernels import kernel_source
+
+        preset = build_machine("m-tta-2")
+        pruned = _fewer_buses(preset, drop=1)
+        source = kernel_source(kernel)
+        tasks = tasks_for_machines(
+            [preset, pruned], sources={kernel: source}, mode="fast"
+        )
+        outcome = sweep_tasks(tasks, use_cache=False)
+        assert outcome.ok
+        base = outcome.results[(preset.name, kernel)].cycles
+        fewer = outcome.results[(pruned.name, kernel)].cycles
+        assert fewer >= base
+
+
+class TestPareto:
+    def _pt(self, name, cycles, luts, fmax):
+        return ParetoPoint(name, name, cycles, luts, fmax)
+
+    def test_dominates_needs_strict_improvement(self):
+        a = self._pt("a", 100.0, 1000, 200.0)
+        same = self._pt("b", 100.0, 1000, 200.0)
+        better = self._pt("c", 90.0, 1000, 200.0)
+        assert not dominates(a, same)
+        assert dominates(better, a)
+        assert not dominates(a, better)
+
+    def test_frontier_keeps_tradeoffs_drops_dominated(self):
+        fast_big = self._pt("fast", 50.0, 2000, 150.0)
+        small_slow = self._pt("small", 100.0, 900, 150.0)
+        dominated = self._pt("bad", 120.0, 2100, 140.0)
+        front = pareto_frontier([dominated, fast_big, small_slow])
+        assert [p.name for p in front] == ["fast", "small"]
+
+    def test_frontier_order_deterministic_and_deduped(self):
+        a = self._pt("a", 50.0, 2000, 150.0)
+        b = self._pt("b", 100.0, 900, 150.0)
+        twin = ParetoPoint("a-again", "a", 50.0, 2000, 150.0)
+        assert pareto_frontier([b, a, twin]) == pareto_frontier([a, twin, b])
+        assert len(pareto_frontier([a, twin])) == 1
+
+
+class TestCampaign:
+    CFG = ExploreConfig(
+        base=("m-tta-1",),
+        kernels=("mips",),
+        generations=1,
+        population=3,
+        seed=4,
+        mode="fast",
+    )
+
+    def test_campaign_deterministic_without_cache(self):
+        first = run_explore(self.CFG, use_cache=False)
+        second = run_explore(self.CFG, use_cache=False)
+        assert first.to_dict() == second.to_dict()
+        assert first.frontier
+        assert first.stats.evaluated >= 1
+
+    def test_frontier_members_revalidate_and_rematerialise(self):
+        from repro.machine import machine_from_dict, validate_machine
+
+        result = run_explore(self.CFG, use_cache=False)
+        for point in result.frontier:
+            machine = machine_from_dict(result.machines[point.name])
+            validate_machine(machine)
+            assert structural_name(machine) == point.name or point.name in self.CFG.base
+
+    def test_frontier_cycles_reproduce_on_reevaluation(self):
+        from repro.machine import machine_from_dict
+
+        result = run_explore(self.CFG, use_cache=False)
+        point = result.frontier[0]
+        machine = machine_from_dict(result.machines[point.name])
+        tasks = tasks_for_machines([machine], self.CFG.kernels, mode=self.CFG.mode)
+        outcome = sweep_tasks(tasks, use_cache=False)
+        assert outcome.ok
+        for kernel, cycles in point.per_kernel.items():
+            assert outcome.results[(machine.name, kernel)].cycles == cycles
+
+    def test_render_explore_mentions_frontier(self):
+        result = run_explore(self.CFG, use_cache=False)
+        text = render_explore(result)
+        assert "Pareto frontier" in text
+        assert result.frontier[0].name in text
+        assert "core LUTs" in text
+
+    def test_non_tta_base_rejected(self):
+        cfg = replace(self.CFG, base=("mblaze-3",))
+        with pytest.raises(ExploreError, match="TTA"):
+            run_explore(cfg, use_cache=False)
+
+    def test_unknown_base_rejected(self):
+        cfg = replace(self.CFG, base=("nope",))
+        with pytest.raises(KeyError):
+            run_explore(cfg, use_cache=False)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ExploreError):
+            run_explore(replace(self.CFG, population=0), use_cache=False)

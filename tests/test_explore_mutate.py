@@ -1,0 +1,189 @@
+"""Property tests for the exploration mutation engine and the machine
+serialization layer it rides on."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from collections import Counter
+
+import pytest
+
+from repro.explore import OPERATORS, campaign_rng, mutate_machine, repair
+from repro.machine import (
+    ALL_PRESETS,
+    build_machine,
+    machine_digest,
+    machine_from_dict,
+    machine_from_json,
+    machine_to_dict,
+    machine_to_json,
+    structural_name,
+    validate_machine,
+)
+from repro.machine.machine import MachineStyle
+
+TTA_PRESETS = tuple(
+    n for n in ALL_PRESETS if build_machine(n).style is MachineStyle.TTA
+)
+
+
+def _mutant_chain(parent_name: str, seed: int, length: int):
+    """A chain of mutants, each mutated from the previous one."""
+    rng = campaign_rng(seed)
+    machine = build_machine(parent_name)
+    chain = []
+    for _ in range(length):
+        child = mutate_machine(machine, rng)
+        assert child is not None
+        chain.append(child)
+        machine = child
+    return chain
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_every_preset_round_trips(self, name):
+        machine = build_machine(name)
+        again = machine_from_json(machine_to_json(machine))
+        assert again == machine
+        assert machine_to_json(again) == machine_to_json(machine)
+
+    def test_digest_ignores_name_and_description(self):
+        from dataclasses import replace
+
+        machine = build_machine("m-tta-2")
+        renamed = replace(machine, name="something-else", description="other")
+        assert machine_digest(renamed) == machine_digest(machine)
+        assert structural_name(renamed) == structural_name(machine)
+
+    def test_digest_sees_structure(self):
+        from dataclasses import replace
+
+        machine = build_machine("m-tta-2")
+        widened = replace(machine, simm_bits=machine.simm_bits + 1)
+        assert machine_digest(widened) != machine_digest(machine)
+
+    def test_malformed_descriptions_rejected(self):
+        with pytest.raises(ValueError):
+            machine_from_dict({"style": "tta"})
+        desc = machine_to_dict(build_machine("m-tta-1"))
+        no_cu = dict(desc, function_units=[
+            u for u in desc["function_units"] if u["kind"] != "cu"
+        ])
+        with pytest.raises(ValueError, match="control unit"):
+            machine_from_dict(no_cu)
+        with pytest.raises(ValueError):
+            machine_from_json("[1, 2]")
+
+
+class TestMutationProperties:
+    @pytest.mark.parametrize("name", TTA_PRESETS)
+    def test_mutants_pass_validator(self, name):
+        for seed in range(3):
+            for child in _mutant_chain(name, seed, 8):
+                validate_machine(child)
+
+    @pytest.mark.parametrize("name", ("m-tta-2", "p-tta-3"))
+    def test_mutants_round_trip_serialization(self, name):
+        for child in _mutant_chain(name, seed=11, length=8):
+            again = machine_from_json(machine_to_json(child))
+            assert again == child
+            assert machine_digest(again) == machine_digest(child)
+
+    def test_mutant_differs_from_parent(self):
+        rng = campaign_rng(2)
+        parent = build_machine("m-tta-2")
+        for _ in range(20):
+            child = mutate_machine(parent, rng)
+            assert machine_digest(child) != machine_digest(parent)
+
+    def test_mutant_name_is_structural(self):
+        child = _mutant_chain("m-tta-2", seed=3, length=1)[0]
+        assert child.name == structural_name(child)
+        assert child.description.startswith("m-tta-2 + ")
+
+    def test_operator_coverage(self):
+        """With enough draws the palette exercises every operator class
+        (deterministic: fixed seed)."""
+        ops = Counter()
+        for name in TTA_PRESETS:
+            for child in _mutant_chain(name, seed=13, length=20):
+                ops[child.description.split(" + ")[1]] += 1
+        assert set(ops) >= {
+            "add-bus",
+            "remove-bus",
+            "prune-link",
+            "densify-link",
+            "rf-add-port",
+            "rf-resize",
+            "fu-add",
+            "imm-width",
+        }
+        assert set(ops) <= set(OPERATORS)
+
+    def test_non_tta_parents_rejected(self):
+        rng = campaign_rng(0)
+        assert mutate_machine(build_machine("mblaze-3"), rng) is None
+        assert mutate_machine(build_machine("m-vliw-2"), rng) is None
+
+    def test_repair_reconnects_stripped_machine(self):
+        from dataclasses import replace
+
+        from repro.machine.components import Bus
+
+        machine = build_machine("m-tta-2")
+        crippled = replace(
+            machine, buses=(Bus(0, frozenset({"IMM"}), frozenset()),)
+        )
+        with pytest.raises(Exception):
+            validate_machine(crippled)
+        validate_machine(repair(crippled))
+
+    def test_abi_register_floor_preserved(self):
+        """RF0 never shrinks below the ABI's reserved registers and the
+        machine keeps at least 16 registers total."""
+        for name in TTA_PRESETS:
+            for child in _mutant_chain(name, seed=17, length=12):
+                assert child.register_files[0].size >= 8
+                assert child.total_registers >= 16
+
+
+class TestMutationDeterminism:
+    def test_same_seed_same_chain(self):
+        a = [machine_digest(m) for m in _mutant_chain("m-tta-2", 21, 10)]
+        b = [machine_digest(m) for m in _mutant_chain("m-tta-2", 21, 10)]
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = [machine_digest(m) for m in _mutant_chain("m-tta-2", 1, 10)]
+        b = [machine_digest(m) for m in _mutant_chain("m-tta-2", 2, 10)]
+        assert a != b
+
+    def test_chain_independent_of_hashseed(self):
+        """The mutant chain is byte-identical across interpreter hash
+        randomisation: frozensets never meet the RNG unsorted."""
+        here = ",".join(machine_digest(m) for m in _mutant_chain("m-tta-2", 7, 6))
+        code = (
+            "from repro.explore import campaign_rng, mutate_machine\n"
+            "from repro.machine import build_machine, machine_digest\n"
+            "rng = campaign_rng(7)\n"
+            "m = build_machine('m-tta-2')\n"
+            "out = []\n"
+            "for _ in range(6):\n"
+            "    m = mutate_machine(m, rng)\n"
+            "    out.append(machine_digest(m))\n"
+            "print(','.join(out))\n"
+        )
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert out.stdout.strip() == here

@@ -175,3 +175,51 @@ class TestModelRows:
             build_machine("m-tta-99")
         with pytest.raises(KeyError, match="known"):
             synthesize(build_machine("not-a-core"))
+
+
+class TestStructuralVendorLookup:
+    """The measured MicroBlaze constants key on *structure*, not name:
+    generated design points can never inherit (or shadow) them by
+    naming accident."""
+
+    def test_renamed_clone_still_gets_vendor_constants(self):
+        from dataclasses import replace
+
+        from repro.fpga.resources import vendor_preset_name
+
+        mb = build_machine("mblaze-3")
+        clone = replace(mb, name="generated-clone")
+        assert vendor_preset_name(clone) == "mblaze-3"
+        assert estimate_resources(clone).core_luts == estimate_resources(mb).core_luts
+        assert estimate_fmax(clone) == estimate_fmax(mb)
+
+    def test_structurally_changed_machine_falls_to_analytic_model(self):
+        from dataclasses import replace
+
+        from repro.fpga.resources import vendor_preset_name
+
+        mb = build_machine("mblaze-3")
+        mutated = replace(
+            mb,
+            name="mblaze-3",  # still *named* like the vendor core
+            scalar_timing=replace(
+                mb.scalar_timing, load_extra=mb.scalar_timing.load_extra + 1
+            ),
+        )
+        assert vendor_preset_name(mutated) is None
+        assert estimate_fmax(mutated) != estimate_fmax(mb)
+        report = estimate_resources(mutated)
+        # analytic model output, not the vendor row (which has ic_luts=0
+        # and the measured LUT count)
+        assert report.core_luts != estimate_resources(mb).core_luts
+
+    def test_generated_tta_machines_never_keyerror(self):
+        from repro.explore import campaign_rng, mutate_machine
+
+        rng = campaign_rng(9)
+        machine = build_machine("m-tta-2")
+        for _ in range(5):
+            machine = mutate_machine(machine, rng)
+            report = synthesize(machine)
+            assert report.resources.core_luts > 0
+            assert report.fmax_mhz > 0

@@ -678,3 +678,66 @@ class TestJsonSchemaVersions:
         doc = FuzzReport(seed=7, count=0).to_dict()
         assert doc["schema_version"] == FUZZ_JSON_SCHEMA == 1
         assert list(doc)[0] == "schema_version"
+
+
+class TestIncrementalWritebackAndResume:
+    """Fresh results persist as each pair completes, so a killed sweep or
+    exploration campaign resumes from everything already measured."""
+
+    class _Killed(RuntimeError):
+        pass
+
+    def test_sweep_writes_back_before_progress(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        seen: list[int] = []
+
+        def killer(done, total, task, outcome):
+            seen.append(store.entry_count()["results"])
+            if done == 2:
+                raise self._Killed()
+
+        with pytest.raises(self._Killed):
+            sweep(
+                machines=("m-tta-1",),
+                sources={"a": GOOD_SOURCE, "b": GOOD_SOURCE + " "},
+                store=store,
+                progress=killer,
+            )
+        # both completed pairs were persisted before the kill landed
+        assert seen == [1, 2]
+        assert store.entry_count()["results"] == 2
+
+    def test_killed_explore_campaign_resumes_as_cache_hits(self, tmp_path):
+        from repro.explore import ExploreConfig, run_explore
+
+        cfg = ExploreConfig(
+            base=("m-tta-1",),
+            kernels=("mips",),
+            generations=1,
+            population=3,
+            seed=5,
+            mode="fast",
+        )
+        store = ArtifactStore(tmp_path / "store")
+        calls: list[tuple[str, str]] = []
+
+        def killer(done, total, task, outcome):
+            calls.append(task.pair)
+            if len(calls) == 2:  # die mid-generation, after 2 of 4 pairs
+                raise self._Killed()
+
+        with pytest.raises(self._Killed):
+            run_explore(cfg, store=store, progress=killer)
+        persisted = store.entry_count()["results"]
+        assert persisted == 2
+
+        resumed = run_explore(cfg, store=store)
+        # the pairs measured before the kill are served from the store
+        assert resumed.stats.cache_hits >= persisted
+        assert resumed.stats.computed >= 1
+
+        # same seed, fresh store: byte-identical frontier payload
+        fresh = run_explore(cfg, store=ArtifactStore(tmp_path / "other"))
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+            fresh.to_dict(), sort_keys=True
+        )
