@@ -21,6 +21,11 @@ Commands:
   reference-interpreter oracle; divergences are auto-minimized into
   ``fuzz/corpus/`` reproducers (``--seed``, ``--count``, ``--machines``,
   ``--modes``, ``--jobs``, ``--time-budget``, ``--smoke``, ``--json``).
+* ``corpus`` -- stress-benchmark corpus: ``promote`` fuzz kernels into
+  a pinned conformance suite (interestingness scoring + per-(machine,
+  engine) golden stats), ``replay`` every golden across all engines
+  (non-zero exit on any drift), ``stats``, and ``pin`` to deliberately
+  re-pin after intentional toolchain changes.
 * ``synth MACHINE`` -- print the analytic synthesis report.
 * ``serve`` -- HTTP compile-and-simulate service with bounded queueing,
   store-backed request dedup and sharded worker processes (``--host``,
@@ -63,11 +68,17 @@ def _cmd_machines(_args) -> int:
 
 
 def _cmd_kernels(_args) -> int:
-    from repro.kernels import KERNELS, kernel_source
+    from repro.kernels import EXTRA_KERNELS, KERNELS, kernel_source, promoted_sources
 
     for name in KERNELS:
         first_line = kernel_source(name).strip().splitlines()[1].strip(" *")
         print(f"{name:10s} {first_line}")
+    for name in EXTRA_KERNELS:
+        first_line = kernel_source(name).strip().splitlines()[1].strip(" *")
+        print(f"{name:10s} {first_line} [extra; not in the paper's set]")
+    promoted = promoted_sources()
+    for name in sorted(promoted):
+        print(f"{name:14s} [promoted fuzz kernel]")
     return 0
 
 
@@ -227,17 +238,25 @@ def _cmd_asm(args) -> int:
     return 0
 
 
-def _parse_subsets(args) -> tuple[tuple[str, ...], tuple[str, ...] | None]:
+def _parse_subsets(args, full_catalog: bool = False) -> tuple[tuple[str, ...], tuple[str, ...] | None]:
     """Shared ``--kernels``/``--machines`` parsing and validation.
 
     Returns ``(kernels, machines)`` with ``machines=None`` when no
     subset was requested; raises ``ValueError`` for unknown names (both
     ``report`` and ``sweep`` use this and turn it into exit code 2).
+    With ``full_catalog`` an explicit kernel subset may also name extra
+    (``fft``) and promoted corpus kernels; ``report`` stays on the
+    paper's eight (its tables compare against published numbers).
     """
     from repro.kernels import KERNELS
     from repro.pipeline import parse_subset
 
-    kernels = parse_subset(args.kernels, KERNELS, "kernel")
+    if full_catalog:
+        from repro.pipeline import resolve_kernel_sources
+
+        kernels, _ = resolve_kernel_sources(args.kernels)
+    else:
+        kernels = parse_subset(args.kernels, KERNELS, "kernel")
     # "" is an *empty* subset (an error parse_subset reports), not "all
     # machines" -- only an absent flag means the full set
     machines = (
@@ -267,7 +286,7 @@ def _cmd_sweep(args) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     try:
-        kernels, machines = _parse_subsets(args)
+        kernels, machines = _parse_subsets(args, full_catalog=True)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -359,8 +378,7 @@ def _cmd_explore(args) -> int:
         render_explore,
         run_explore,
     )
-    from repro.kernels import KERNELS
-    from repro.pipeline import ArtifactStore, default_store, parse_subset
+    from repro.pipeline import ArtifactStore, default_store, resolve_kernel_sources
 
     # --smoke: a bounded, seeded CI-sized campaign on the cheap turbo
     # engine; explicit flags given alongside it still win.
@@ -384,7 +402,7 @@ def _cmd_explore(args) -> int:
         return 2
     try:
         kernel_subset = (
-            parse_subset(kernels, KERNELS, "kernel") if kernels is not None else None
+            resolve_kernel_sources(kernels)[0] if kernels is not None else None
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -575,6 +593,238 @@ def _cmd_fuzz(args) -> int:
                 f"{err.message.splitlines()[0] if err.message else ''}"
             )
     return 0 if report.ok else 1
+
+
+def _cmd_corpus_promote(args) -> int:
+    from repro.corpus import PromoteConfig, promote
+    from repro.corpus.goldens import GoldenError
+    from repro.fuzz.diff import ALL_MODES
+    from repro.pipeline import parse_subset
+
+    count = args.count
+    target = args.target
+    machines = args.machines
+    jobs = args.jobs
+    if args.smoke:
+        count = 8 if count is None else count
+        target = 3 if target is None else target
+        machines = "m-tta-2,mblaze-3" if machines is None else machines
+        jobs = 2 if jobs is None else jobs
+    count = 40 if count is None else count
+    target = 12 if target is None else target
+    jobs = 1 if jobs is None else jobs
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    if count < 1 or target < 1:
+        print(
+            f"error: --count and --target must be >= 1, got {count}/{target}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        machine_subset = (
+            parse_subset(machines, preset_names(), "machine")
+            if machines is not None
+            else ()
+        )
+        modes = (
+            parse_subset(args.modes, ALL_MODES, "mode")
+            if args.modes is not None
+            else ALL_MODES
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    def _log(msg: str) -> None:
+        if not args.quiet:
+            print(msg, file=sys.stderr)
+
+    try:
+        report = promote(
+            PromoteConfig(
+                seed=args.seed,
+                count=count,
+                target=target,
+                machines=machine_subset,
+                modes=modes,
+                jobs=jobs,
+                out_dir=args.out_dir,
+            ),
+            log=_log,
+        )
+    except GoldenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"{'name':18s} {'axis':10s} {'cycles':>9s} {'branch':>7s} "
+              f"{'mem':>7s} {'opcodes':>7s}")
+        for entry in report.selected:
+            print(
+                f"{entry['name']:18s} {entry['axis']:10s} {entry['cycles']:9d} "
+                f"{entry['branch_ops']:7d} {entry['mem_ops']:7d} "
+                f"{entry['distinct_opcodes']:7d}"
+            )
+    return 0
+
+
+def _cmd_corpus_replay(args) -> int:
+    from repro.corpus import discover_entries, replay_entries
+    from repro.pipeline import parse_subset
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        machines = (
+            parse_subset(args.machines, preset_names(), "machine")
+            if args.machines is not None
+            else None
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    entries = discover_entries(
+        promoted_dir=args.promoted_dir,
+        corpus_dir=args.corpus_dir,
+        include_builtin=not args.no_builtin,
+    )
+    if not entries:
+        print("error: no golden-bearing kernels found to replay", file=sys.stderr)
+        return 2
+
+    def _progress(done: int, total: int, case, outcome) -> None:
+        if args.quiet:
+            return
+        print(f"[{done:3d}/{total}] {case.machine:10s} {case.kernel}", file=sys.stderr)
+
+    report = replay_entries(entries, jobs=args.jobs, machines=machines,
+                            progress=_progress)
+    print(
+        f"replayed {report.cases} pinned (kernel, machine) cases from "
+        f"{report.entries} entries: "
+        f"{len(report.drift)} drift(s), {len(report.broken)} broken golden(s)",
+        file=sys.stderr,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in report.broken:
+            print(f"BROKEN: {line}")
+        for line in report.drift:
+            print(f"DRIFT: {line}")
+        if report.ok:
+            print("corpus replay ok: no drift against pinned goldens")
+    return 0 if report.ok else 1
+
+
+def _cmd_corpus_stats(args) -> int:
+    from repro.corpus.promote import corpus_stats
+
+    stats = corpus_stats(promoted=args.promoted_dir)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"promoted corpus: {stats['dir']} ({stats['count']} kernels, "
+          f"{len(stats['machines'])} machines pinned)")
+    if stats["entries"]:
+        print(f"{'name':18s} {'axis':10s} {'cycles':>9s} {'branch':>7s} "
+              f"{'mem':>7s} {'opcodes':>7s} {'pinned':>6s}")
+    for entry in stats["entries"]:
+        if "golden_error" in entry:
+            print(f"{entry['name']:18s} BROKEN: {entry['golden_error']}")
+            continue
+        print(
+            f"{entry['name']:18s} {entry.get('axis', '?'):10s} "
+            f"{entry.get('cycles', 0):9d} {entry.get('branch_ops', 0):7d} "
+            f"{entry.get('mem_ops', 0):7d} {entry.get('distinct_opcodes', 0):7d} "
+            f"{entry.get('machines_pinned', 0):6d}"
+        )
+    return 0
+
+
+def _cmd_corpus_pin(args) -> int:
+    """Deliberately (re-)pin goldens after an intentional change.
+
+    Covers all three golden groups: built-in extras (``fft``) pin into
+    ``src/repro/kernels/goldens/``, regression reproducers next to
+    their ``.mc`` in the fuzz corpus (on their recorded machine only),
+    and promoted kernels next to theirs.
+    """
+    from repro.corpus.goldens import GoldenError, save_golden
+    from repro.corpus.replay import BUILTIN_GOLDEN_DIR, golden_path_for, pin_entry
+    from repro.fuzz.corpus import default_corpus_dir, load_corpus
+    from repro.kernels import ALL_KERNELS, kernel_source, promoted_dir
+    from repro.pipeline import parse_subset
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        machines = (
+            parse_subset(args.machines, preset_names(), "machine")
+            if args.machines is not None
+            else preset_names()
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    # name -> (source, mc_path_or_None, golden_path, machines, exit)
+    targets: dict[str, tuple] = {}
+    corpus_dir = Path(args.corpus_dir) if args.corpus_dir else default_corpus_dir()
+    for entry in load_corpus(corpus_dir):
+        # regression reproducers stay pinned on their recorded machine:
+        # they reproduce a machine-specific bug, and the vault must not
+        # inflate replay cost 13x
+        machine = entry.machine
+        pin_machines = (machine,) if machine else machines
+        targets[entry.name] = (entry.source, entry.path, golden_path_for(entry.path),
+                               pin_machines)
+    pdir = Path(args.promoted_dir) if args.promoted_dir else promoted_dir()
+    if pdir.is_dir():
+        for mc_path in sorted(pdir.glob("*.mc")):
+            targets[mc_path.stem] = (mc_path.read_text(), mc_path,
+                                     golden_path_for(mc_path), machines)
+    # built-in extras always pin; paper kernels only when explicitly
+    # named (their conformance is already covered by tier-1 tests, and
+    # pinning them would inflate every replay by 8 x 13 machines)
+    from repro.kernels import EXTRA_KERNELS
+
+    for name in ALL_KERNELS:
+        if name in EXTRA_KERNELS or name in (args.names or ()):
+            golden_path = BUILTIN_GOLDEN_DIR / f"{name}.golden.json"
+            targets[name] = (kernel_source(name), None, golden_path, machines)
+
+    names = args.names or sorted(targets)
+    unknown = [n for n in names if n not in targets]
+    if unknown:
+        print(
+            f"error: nothing to pin for {', '.join(map(repr, unknown))}; "
+            f"pinnable: {', '.join(sorted(targets))}",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for name in names:
+        source, _mc, golden_path, pin_machines = targets[name]
+        try:
+            payload = pin_entry(name, source, tuple(pin_machines), jobs=args.jobs)
+            save_golden(golden_path, payload)
+        except GoldenError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if not args.quiet:
+            print(
+                f"pinned {name} on {len(payload['machines'])} machine(s) "
+                f"-> {golden_path}",
+                file=sys.stderr,
+            )
+    return status
 
 
 def _cmd_trace_summary(args) -> int:
@@ -924,6 +1174,128 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-case progress on stderr")
     p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="stress-benchmark corpus: promote fuzz kernels with pinned "
+        "golden stats, replay them across every engine, inspect them",
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    p_cpro = corpus_sub.add_parser(
+        "promote",
+        help="run a seeded fuzz campaign, score candidates by "
+        "interestingness (branchy/fu-diverse/memory extremes), select a "
+        "diverse subset and persist it with pinned per-(machine, engine) "
+        "golden stats",
+    )
+    p_cpro.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_cpro.add_argument(
+        "--count", type=int, default=None,
+        help="candidates to generate and score (default 40; 8 with --smoke)",
+    )
+    p_cpro.add_argument(
+        "--target", type=int, default=None,
+        help="corpus size to select (default 12; 3 with --smoke)",
+    )
+    p_cpro.add_argument(
+        "--machines", default=None,
+        help="comma-separated presets to pin goldens on (default: all 13)",
+    )
+    p_cpro.add_argument(
+        "--modes", default=None,
+        help="comma-separated engine subset to pin (default: all five)",
+    )
+    p_cpro.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for golden pinning (default 1)",
+    )
+    p_cpro.add_argument(
+        "--out-dir", default=None,
+        help="promoted-corpus directory (default: $REPRO_PROMOTED_CORPUS "
+        "or fuzz/promoted at the repo root)",
+    )
+    p_cpro.add_argument(
+        "--smoke", action="store_true",
+        help="bounded CI preset: 8 candidates, 3 selected, 2 machines "
+        "(explicit flags still win)",
+    )
+    p_cpro.add_argument("--json", action="store_true",
+                        help="JSON promotion report on stdout")
+    p_cpro.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress on stderr")
+    p_cpro.set_defaults(fn=_cmd_corpus_promote)
+
+    p_crep = corpus_sub.add_parser(
+        "replay",
+        help="re-run every golden-bearing kernel (promoted corpus, fuzz "
+        "regression vault, built-in extras) across its pinned engines and "
+        "machines; any stat drifting from its golden fails the replay",
+    )
+    p_crep.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, in-process)",
+    )
+    p_crep.add_argument(
+        "--machines", default=None,
+        help="comma-separated preset subset (pairs pinned on other "
+        "machines are skipped; default: every pinned machine)",
+    )
+    p_crep.add_argument(
+        "--promoted-dir", default=None,
+        help="promoted-corpus directory (default: $REPRO_PROMOTED_CORPUS "
+        "or fuzz/promoted)",
+    )
+    p_crep.add_argument(
+        "--corpus-dir", default=None,
+        help="fuzz regression vault (default: $REPRO_FUZZ_CORPUS or "
+        "fuzz/corpus)",
+    )
+    p_crep.add_argument(
+        "--no-builtin", action="store_true",
+        help="skip the built-in extra kernels' goldens (fft)",
+    )
+    p_crep.add_argument("--json", action="store_true",
+                        help="JSON replay report on stdout")
+    p_crep.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-case progress on stderr")
+    p_crep.set_defaults(fn=_cmd_corpus_replay)
+
+    p_csta = corpus_sub.add_parser(
+        "stats", help="summarize the promoted corpus (traits, axes, coverage)"
+    )
+    p_csta.add_argument("--promoted-dir", default=None,
+                        help="promoted-corpus directory")
+    p_csta.add_argument("--json", action="store_true",
+                        help="machine-readable stats on stdout")
+    p_csta.set_defaults(fn=_cmd_corpus_stats)
+
+    p_cpin = corpus_sub.add_parser(
+        "pin",
+        help="(re-)pin golden stats after an intentional toolchain or "
+        "scheduler change (goldens freeze cycles and every transport "
+        "counter, so legitimate perf changes require an explicit re-pin)",
+    )
+    p_cpin.add_argument(
+        "names", nargs="*",
+        help="kernels to pin (default: fft + every corpus/promoted entry)",
+    )
+    p_cpin.add_argument(
+        "--machines", default=None,
+        help="comma-separated presets to pin on (default: all 13; "
+        "regression reproducers always pin on their recorded machine)",
+    )
+    p_cpin.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, in-process)",
+    )
+    p_cpin.add_argument("--promoted-dir", default=None,
+                        help="promoted-corpus directory")
+    p_cpin.add_argument("--corpus-dir", default=None,
+                        help="fuzz regression vault directory")
+    p_cpin.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-kernel progress on stderr")
+    p_cpin.set_defaults(fn=_cmd_corpus_pin)
 
     p_trace = sub.add_parser(
         "trace", help="inspect trace files written by --trace"

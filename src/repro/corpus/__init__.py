@@ -1,0 +1,61 @@
+"""Stress-benchmark corpus: pinned cross-engine conformance kernels.
+
+The fuzz subsystem's corpus (``fuzz/corpus/``) is a regression vault:
+minimized reproducers of bugs that were actually found.  This package
+turns fuzz output into a *benchmark* corpus: ``promote`` runs a seeded
+campaign, scores the generated kernels by structural/behavioral
+interestingness (branchy control flow, FU-mix diversity, memory-traffic
+extremes), selects a diverse subset, and persists each survivor with
+**pinned golden stats** — the exit code, cycle count, and every
+transport counter per (machine, engine), recorded as checksummed JSON.
+``replay`` re-runs the whole promoted corpus (plus the regression vault
+and the built-in extra kernels' goldens) across every engine and fails
+loudly on any drift.
+
+Promoted kernels are first-class workloads: ``repro.kernels.load`` /
+``catalog`` make them addressable by name in ``repro sweep``,
+``repro explore`` and ``repro serve`` alongside the paper's eight.
+"""
+
+from repro.corpus.goldens import (
+    GOLDEN_SCHEMA,
+    GoldenError,
+    diff_runs,
+    golden_path_for,
+    load_golden,
+    make_golden,
+    save_golden,
+    source_sha256,
+)
+from repro.corpus.promote import PromoteConfig, PromoteReport, promote
+from repro.corpus.replay import (
+    GoldenEntry,
+    ReplayReport,
+    discover_entries,
+    pin_entry,
+    replay_entries,
+)
+from repro.corpus.score import KernelTraits, interestingness, measure_traits, select_diverse
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "GoldenEntry",
+    "GoldenError",
+    "KernelTraits",
+    "PromoteConfig",
+    "PromoteReport",
+    "ReplayReport",
+    "diff_runs",
+    "discover_entries",
+    "golden_path_for",
+    "interestingness",
+    "load_golden",
+    "make_golden",
+    "measure_traits",
+    "pin_entry",
+    "promote",
+    "replay_entries",
+    "save_golden",
+    "select_diverse",
+    "source_sha256",
+]

@@ -195,15 +195,16 @@ def run_explore(
     """
     import time
 
-    from repro.kernels import KERNELS
-    from repro.pipeline.sweep import parse_subset
+    from repro.pipeline.sweep import resolve_kernel_sources
 
     if config.generations < 0 or config.population < 1:
         raise ExploreError(
             f"need generations >= 0 and population >= 1, got "
             f"{config.generations}/{config.population}"
         )
-    kernels = parse_subset(config.kernels, KERNELS, "kernel")
+    # None = the paper's eight; explicit subsets may also name extra
+    # (fft) or promoted corpus kernels as exploration workloads
+    kernels, _ = resolve_kernel_sources(config.kernels)
     started = time.perf_counter()
     result = ExploreResult(config=config, kernels=kernels)
     rng = campaign_rng(config.seed)

@@ -1,15 +1,26 @@
 """The benchmark workloads (CHStone-like kernels in MiniC).
 
 Eight self-checking integer kernels mirroring the CHStone programs the
-paper evaluates (the two SoftFloat cases are excluded there too).  Every
-kernel's ``main`` returns 0 on success and a positive error code
-identifying the failed check, so correctness is asserted on every
-architecture in every run.  See each ``.mc`` header for the exact
-relationship to its CHStone counterpart and any substitution made.
+paper evaluates (the two SoftFloat cases are excluded there too), plus
+extra hand-written workloads (``fft``) that are *not* part of the
+paper's benchmark set.  Every kernel's ``main`` returns 0 on success
+and a positive error code identifying the failed check, so correctness
+is asserted on every architecture in every run.  See each ``.mc``
+header for the exact relationship to its CHStone counterpart and any
+substitution made.
+
+Beyond the built-in ``.mc`` files, promoted fuzz kernels (see
+``repro.corpus``) are addressable through :func:`load` and
+:func:`catalog`: any kernel promoted into the corpus directory becomes
+a first-class workload for ``repro sweep`` / ``repro explore`` /
+``repro serve``.  ``KERNELS`` itself stays the paper's eight — the
+eval layer's published-number comparisons depend on exactly that set.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from functools import lru_cache
 from pathlib import Path
 
@@ -28,17 +39,101 @@ KERNELS: tuple[str, ...] = (
     "sha",
 )
 
+#: Built-in workloads outside the paper's benchmark set.
+EXTRA_KERNELS: tuple[str, ...] = ("fft",)
+
+#: Every built-in kernel (paper set + extras).
+ALL_KERNELS: tuple[str, ...] = KERNELS + EXTRA_KERNELS
+
 _KERNEL_DIR = Path(__file__).parent
+
+#: Environment override for the promoted-corpus directory.
+PROMOTED_ENV = "REPRO_PROMOTED_CORPUS"
+
+
+def promoted_dir() -> Path:
+    """Directory holding promoted fuzz kernels (``<name>.mc`` files)."""
+    env = os.environ.get(PROMOTED_ENV)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "fuzz" / "promoted"
+
+
+def promoted_sources() -> dict[str, str]:
+    """Name -> MiniC source for every promoted corpus kernel.
+
+    Reads the directory fresh on every call (tests point
+    ``REPRO_PROMOTED_CORPUS`` at temporary corpora), sorted by name for
+    deterministic iteration.
+    """
+    root = promoted_dir()
+    if not root.is_dir():
+        return {}
+    out: dict[str, str] = {}
+    for path in sorted(root.glob("*.mc")):
+        out[path.stem] = path.read_text()
+    return out
+
+
+def catalog(include_promoted: bool = True) -> tuple[str, ...]:
+    """Every addressable kernel name: built-ins, then promoted."""
+    names = list(ALL_KERNELS)
+    if include_promoted:
+        names.extend(n for n in promoted_sources() if n not in ALL_KERNELS)
+    return tuple(names)
 
 
 def kernel_source(name: str) -> str:
-    """MiniC source text of the named kernel."""
-    if name not in KERNELS:
-        raise KeyError(f"unknown kernel {name!r}; known: {KERNELS}")
+    """MiniC source text of the named built-in kernel."""
+    if name not in ALL_KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; known: {ALL_KERNELS}")
     return (_KERNEL_DIR / f"{name}.mc").read_text()
+
+
+def expected_exit(name: str) -> int:
+    """Exit code the kernel's self-check is expected to produce.
+
+    Built-in kernels return 0 on success; promoted fuzz kernels
+    checksum their observable state into the exit code, and the value
+    the oracle blessed at promotion time is carried in the kernel's
+    golden sidecar (``<name>.golden.json``).  A promoted kernel whose
+    golden is missing/unreadable falls back to 0 — which fails its
+    sweep loudly rather than silently accepting any exit.
+    """
+    if name in ALL_KERNELS:
+        return 0
+    golden = promoted_dir() / f"{name}.golden.json"
+    try:
+        payload = json.loads(golden.read_text())
+        return int(payload["expected_exit"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return 0
+
+
+def load(name: str) -> str:
+    """MiniC source of any addressable kernel (built-in or promoted).
+
+    Raises ``KeyError`` listing both built-in and promoted names when
+    the kernel is unknown, and when a promoted kernel shadows a
+    built-in name (the corpus must not silently override the benchmark
+    set).
+    """
+    promoted = promoted_sources()
+    if name in ALL_KERNELS:
+        if name in promoted:
+            raise KeyError(
+                f"ambiguous kernel {name!r}: a promoted corpus kernel in "
+                f"{promoted_dir()} shadows the built-in; rename the "
+                f"promoted kernel"
+            )
+        return kernel_source(name)
+    if name in promoted:
+        return promoted[name]
+    known = ALL_KERNELS + tuple(n for n in promoted if n not in ALL_KERNELS)
+    raise KeyError(f"unknown kernel {name!r}; known: {known}")
 
 
 @lru_cache(maxsize=None)
 def compile_kernel(name: str, optimize: bool = True) -> Module:
-    """Compile the named kernel to an optimised IR module (cached)."""
+    """Compile the named built-in kernel to an IR module (cached)."""
     return compile_source(kernel_source(name), module_name=name, optimize=optimize)

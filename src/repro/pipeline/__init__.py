@@ -49,6 +49,7 @@ from repro.pipeline.sweep import (
     build_tasks,
     compile_cached,
     parse_subset,
+    resolve_kernel_sources,
     sweep,
     sweep_tasks,
     tasks_for_machines,
@@ -84,6 +85,7 @@ __all__ = [
     "fingerprint",
     "job_fingerprint",
     "parse_subset",
+    "resolve_kernel_sources",
     "resolve_task_machine",
     "result_extras",
     "run_tasks",

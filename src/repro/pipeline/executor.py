@@ -81,10 +81,11 @@ def execute_task(task: SweepTask) -> EvalResult:
     )
     compiled = compile_for_machine(module, machine)
     result = run_compiled(compiled, mode=task.mode)
-    if result.exit_code != 0:
+    expected = getattr(task, "expected_exit", 0)
+    if expected is not None and result.exit_code != expected:
         raise AssertionError(
             f"kernel {task.kernel} self-check failed on {task.machine}: "
-            f"exit={result.exit_code}"
+            f"exit={result.exit_code} (expected {expected})"
         )
     encoding = encode_machine(machine)
     report = synthesize(machine)

@@ -66,6 +66,29 @@ def parse_subset(
     return tuple(n for n in known if n in requested)
 
 
+def resolve_kernel_sources(
+    kernels: Iterable[str] | str | None,
+) -> tuple[tuple[str, ...], dict[str, str]]:
+    """Kernel names + sources for a subset spec over the full catalog.
+
+    ``None`` means the paper's built-in set (``KERNELS``) — the default
+    matrix stays the published one.  An explicit subset may name any
+    addressable kernel: built-ins, extras (``fft``), and promoted
+    corpus kernels (see :mod:`repro.corpus`).  Raises ``ValueError``
+    for unknown or ambiguous names.
+    """
+    from repro.kernels import KERNELS, catalog, load
+
+    if kernels is None:
+        names: tuple[str, ...] = tuple(KERNELS)
+    else:
+        names = parse_subset(kernels, catalog(), "kernel")
+    try:
+        return names, {name: load(name) for name in names}
+    except KeyError as exc:
+        raise ValueError(str(exc.args[0]) if exc.args else str(exc)) from exc
+
+
 def build_tasks(
     machines: Iterable[str] | str | None = None,
     kernels: Iterable[str] | str | None = None,
@@ -77,21 +100,24 @@ def build_tasks(
     """The (machine, kernel) matrix as an ordered task list.
 
     *sources* maps kernel names to MiniC text and defaults to the
-    built-in CHStone-like workloads; passing extra names sweeps ad-hoc
+    built-in CHStone-like workloads (explicit subsets may also name
+    extra/promoted kernels); passing extra names sweeps ad-hoc
     workloads through the same cache/executor machinery.
     """
-    from repro.kernels import KERNELS, kernel_source
     from repro.machine import preset_names
+
+    from repro.kernels import expected_exit
 
     machine_names = parse_subset(machines, preset_names(), "machine")
     if sources is None:
-        kernel_names = parse_subset(kernels, KERNELS, "kernel")
-        sources = {name: kernel_source(name) for name in kernel_names}
+        kernel_names, sources = resolve_kernel_sources(kernels)
+        exits = {k: expected_exit(k) for k in kernel_names}
     else:
         kernel_names = (
             tuple(sources) if kernels is None
             else parse_subset(kernels, tuple(sources), "kernel")
         )
+        exits = {k: 0 for k in kernel_names}
     return [
         SweepTask(
             machine=m,
@@ -99,6 +125,7 @@ def build_tasks(
             source=sources[k],
             mode=mode,
             optimize=optimize,
+            expected_exit=exits[k],
         )
         for m in machine_names
         for k in kernel_names
@@ -121,19 +148,20 @@ def tasks_for_machines(
     registry involvement.  Preset *names* in *machines* are accepted too
     and ride as plain named tasks.
     """
-    from repro.kernels import KERNELS, kernel_source
+    from repro.kernels import expected_exit
     from repro.machine import preset_names
     from repro.machine.machine import Machine
     from repro.machine.serialize import machine_to_json
 
     if sources is None:
-        kernel_names = parse_subset(kernels, KERNELS, "kernel")
-        sources = {name: kernel_source(name) for name in kernel_names}
+        kernel_names, sources = resolve_kernel_sources(kernels)
+        exits = {k: expected_exit(k) for k in kernel_names}
     else:
         kernel_names = (
             tuple(sources) if kernels is None
             else parse_subset(kernels, tuple(sources), "kernel")
         )
+        exits = {k: 0 for k in kernel_names}
     known = preset_names()
     tasks: list[SweepTask] = []
     for machine in machines:
@@ -150,6 +178,7 @@ def tasks_for_machines(
                 mode=mode,
                 optimize=optimize,
                 machine_desc=desc,
+                expected_exit=exits[k],
             )
             for k in kernel_names
         )
@@ -321,12 +350,12 @@ def compile_cached(machine_name: str, kernel_name: str, *,
     """
     from repro.backend import compile_for_machine
     from repro.frontend import compile_source
-    from repro.kernels import kernel_source
+    from repro.kernels import load
     from repro.machine import build_machine
     from repro.pipeline.fingerprint import fingerprint
 
     machine = build_machine(machine_name)
-    source = kernel_source(kernel_name)
+    source = load(kernel_name)
     active_store = store if store is not None else default_store()
     key = None
     if active_store is not None:

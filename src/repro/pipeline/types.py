@@ -114,6 +114,10 @@ class SweepTask:
             (:func:`repro.machine.machine_to_json`) for design points
             that are not presets -- exploration mutants, ad-hoc
             machines.  ``None`` means *machine* names a preset.
+        expected_exit: the exit code the workload's self-check must
+            produce (0 for the hand-written kernels; promoted fuzz
+            kernels checksum their state into a nonzero exit pinned at
+            promotion time).  ``None`` skips the check entirely.
     """
 
     machine: str
@@ -122,6 +126,7 @@ class SweepTask:
     mode: str = "fast"
     optimize: bool = True
     machine_desc: str | None = None
+    expected_exit: int | None = 0
 
     @property
     def pair(self) -> tuple[str, str]:

@@ -100,7 +100,7 @@ def normalize_params(kind: str, body: dict) -> dict:
     if kind == "sweep":
         return _normalize_sweep(body)
 
-    from repro.kernels import KERNELS, kernel_source
+    from repro.kernels import load
     from repro.machine import preset_names
 
     machine = body.get("machine")
@@ -111,14 +111,15 @@ def normalize_params(kind: str, body: dict) -> dict:
     kernel = body.get("kernel")
     source = body.get("source")
     if (kernel is None) == (source is None):
-        raise BadJob("exactly one of 'kernel' (builtin name) or 'source' "
-                     "(MiniC text) is required")
+        raise BadJob("exactly one of 'kernel' (builtin or promoted name) or "
+                     "'source' (MiniC text) is required")
     if kernel is not None:
-        if not isinstance(kernel, str) or kernel not in KERNELS:
-            raise BadJob(
-                f"unknown kernel {kernel!r}; known: {', '.join(KERNELS)}"
-            )
-        source = kernel_source(kernel)
+        if not isinstance(kernel, str):
+            raise BadJob(f"'kernel' must be a string, got {kernel!r}")
+        try:
+            source = load(kernel)
+        except KeyError as exc:
+            raise BadJob(str(exc.args[0]) if exc.args else str(exc)) from exc
     elif not isinstance(source, str) or not source.strip():
         raise BadJob("'source' must be non-empty MiniC text")
 
@@ -168,16 +169,18 @@ def normalize_params(kind: str, body: dict) -> dict:
 
 
 def _normalize_sweep(body: dict) -> dict:
-    from repro.kernels import KERNELS
     from repro.machine import preset_names
     from repro.pipeline import parse_subset
+    from repro.pipeline.sweep import resolve_kernel_sources
 
     mode = body.get("mode", "fast")
     if mode not in RUN_MODES:
         raise BadJob(f"unknown mode {mode!r}; known: {', '.join(RUN_MODES)}")
     try:
         machines = parse_subset(body.get("machines"), preset_names(), "machine")
-        kernels = parse_subset(body.get("kernels"), KERNELS, "kernel")
+        # default: the paper's built-in matrix; explicit subsets may
+        # name extra/promoted kernels (resolved again in the worker)
+        kernels, _ = resolve_kernel_sources(body.get("kernels"))
     except ValueError as exc:
         raise BadJob(str(exc)) from exc
     return {

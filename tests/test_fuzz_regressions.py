@@ -1,6 +1,5 @@
-"""Regression replay: every reproducer in ``fuzz/corpus/`` must agree
-with the oracle on its recorded machine, across every engine, on every
-commit.
+"""Regression replay: every reproducer in ``fuzz/corpus/`` must match
+its pinned golden stats on its recorded machine, on every commit.
 
 Entries come from two sources:
 
@@ -12,20 +11,30 @@ Entries come from two sources:
   fold) -- they guard the engine-equivalence claim even while no bug is
   open.
 
-The assertion is intentionally total: the compiled program must produce
-the oracle's exit code under *every* engine mode and all engines must
-agree on every statistics counter (:func:`repro.fuzz.run_case` checks
-both).
+This used to re-derive the expectation from the oracle on every run;
+it now rides the generic golden-replay harness (:mod:`repro.corpus`):
+each reproducer carries a ``.golden.json`` pinning its exit code,
+cycle count and every transport counter per engine, so the assertion
+is strictly stronger — not just "engines agree with the oracle today"
+but "the engines produce byte-for-byte what they produced when the
+golden was pinned".  Intentional toolchain changes re-pin via
+``repro corpus pin``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.fuzz import FuzzCase, load_corpus, reference_run, run_case
+from repro.corpus import discover_entries, replay_entries
 from repro.fuzz.corpus import default_corpus_dir
 
-ENTRIES = load_corpus()
+ENTRIES = [
+    e
+    for e in discover_entries(
+        promoted_dir="/nonexistent-promoted", include_builtin=False
+    )
+    if e.group == "regression"
+]
 
 
 def test_shipped_corpus_is_present():
@@ -35,19 +44,15 @@ def test_shipped_corpus_is_present():
     assert len(ENTRIES) >= 4
 
 
+def test_every_reproducer_has_a_wellformed_golden():
+    # discovery marks missing/corrupt goldens and source-hash drift as
+    # broken instead of skipping; none of that may ship
+    broken = [f"{e.name}: {e.error}" for e in ENTRIES if not e.ok]
+    assert not broken, "\n".join(broken)
+
+
 @pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
-def test_reproducer_stays_fixed(entry):
-    machine = entry.machine or "m-tta-1"
-    expected = reference_run(entry.source)
-    report = run_case(
-        FuzzCase(
-            machine=machine,
-            kernel=entry.name,
-            source=entry.source,
-            expected_exit=expected,
-        )
-    )
-    assert report.ok, "\n".join(d.summary() for d in report.divergences)
-    assert report.runs, "reproducer must actually execute"
-    for mode, record in report.runs.items():
-        assert record["exit_code"] == expected, (mode, record)
+def test_reproducer_matches_golden(entry):
+    report = replay_entries([entry])
+    assert report.cases >= 1, "reproducer must actually execute"
+    assert report.ok, "\n".join(report.broken + report.drift)

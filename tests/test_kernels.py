@@ -6,12 +6,14 @@ validate the algorithmic cores where a reference exists.
 from __future__ import annotations
 
 import hashlib
+import math
 
 import pytest
 
 from repro.frontend import compile_source
 from repro.ir import Interpreter
-from repro.kernels import KERNELS, compile_kernel, kernel_source
+from repro.kernels import ALL_KERNELS, KERNELS, compile_kernel, kernel_source
+from repro.machine import preset_names
 
 
 class TestAllKernels:
@@ -31,9 +33,21 @@ class TestAllKernels:
     def test_eight_kernels(self):
         assert len(KERNELS) == 8
 
+    def test_extras_stay_out_of_the_paper_set(self):
+        # fft is a first-class workload but NOT part of the paper's
+        # benchmark matrix; published-number comparisons rely on KERNELS
+        assert "fft" in ALL_KERNELS and "fft" not in KERNELS
+
     def test_unknown_kernel(self):
         with pytest.raises(KeyError):
             kernel_source("softfloat")
+
+    @pytest.mark.parametrize("name", ("fft",))
+    def test_extra_kernel_self_checks(self, name):
+        interp = Interpreter(compile_kernel(name))
+        assert interp.run() == 0, f"kernel {name} failed its self-check"
+        interp = Interpreter(compile_kernel(name, optimize=False))
+        assert interp.run() == 0
 
 
 class TestShaAgainstHashlib:
@@ -217,3 +231,120 @@ class TestGsmReference:
         ]
         kernel_refl = [v - (1 << 32) if v & (1 << 31) else v for v in kernel_refl]
         assert kernel_refl == refl
+
+
+class TestFftDifferential:
+    """fft runs clean on every preset, byte-identical across engines."""
+
+    @pytest.mark.parametrize("preset", preset_names())
+    def test_all_presets_all_engines(self, preset):
+        from repro.fuzz.diff import ALL_MODES, FuzzCase, run_case
+
+        report = run_case(
+            FuzzCase(
+                machine=preset,
+                kernel="fft",
+                source=kernel_source("fft"),
+                expected_exit=0,
+                modes=ALL_MODES,
+            )
+        )
+        assert not report.divergences, "\n".join(
+            d.summary() for d in report.divergences
+        )
+        # scalar presets run one engine; TTA/VLIW presets run all five
+        assert len(report.runs) in (1, len(ALL_MODES))
+        for record in report.runs.values():
+            assert record["exit_code"] == 0
+
+
+class TestFftReference:
+    """The kernel's spectrum matches an independent Python FFT.
+
+    Two references: an exact fixed-point model re-deriving the Q15
+    butterfly arithmetic (twiddles recomputed from ``math.cos``/``sin``,
+    not copied from the kernel), and a floating-point DFT bounding the
+    total quantization error.
+    """
+
+    N = 64
+
+    def _q15_fft(self, re, im):
+        n = self.N
+        tw = [
+            (
+                round(math.cos(2 * math.pi * k / n) * 32767),
+                round(-math.sin(2 * math.pi * k / n) * 32767),
+            )
+            for k in range(n // 2)
+        ]
+        re, im = list(re), list(im)
+        for i in range(n):
+            j = int(format(i, "06b")[::-1], 2)
+            if j > i:
+                re[i], re[j] = re[j], re[i]
+                im[i], im[j] = im[j], im[i]
+        size = 2
+        while size <= n:
+            half, step = size // 2, n // size
+            for base in range(0, n, size):
+                for j in range(half):
+                    wr, wi = tw[j * step]
+                    a, b = base + j, base + j + half
+                    tr = ((wr * re[b]) >> 15) - ((wi * im[b]) >> 15)
+                    ti = ((wr * im[b]) >> 15) + ((wi * re[b]) >> 15)
+                    re[b], im[b] = (re[a] - tr) >> 1, (im[a] - ti) >> 1
+                    re[a], im[a] = (re[a] + tr) >> 1, (im[a] + ti) >> 1
+            size *= 2
+        return re, im
+
+    def _run_forward_only(self):
+        # patch the kernel to stop after the forward transform so the
+        # spectrum is still in memory when we read it out
+        src = kernel_source("fft") + """
+        int check_main(void)
+        {
+            int n;
+            for (n = 0; n < 64; n++) {
+                fft_re[n] = signal[n];
+                fft_im[n] = 0;
+            }
+            fft_run(0);
+            return 0;
+        }
+        """
+        module = compile_source(
+            src.replace("int main(void)", "int orig_main(void)")
+               .replace("int check_main(void)", "int main(void)")
+        )
+        interp = Interpreter(module)
+        assert interp.run() == 0
+
+        def words(symbol):
+            base = interp.symbols[symbol]
+            vals = [
+                int.from_bytes(interp.memory[base + 4 * i : base + 4 * i + 4], "little")
+                for i in range(self.N)
+            ]
+            return [v - (1 << 32) if v & (1 << 31) else v for v in vals]
+
+        return words("signal"), words("fft_re"), words("fft_im")
+
+    def test_matches_fixed_point_model_exactly(self):
+        signal, out_re, out_im = self._run_forward_only()
+        ref_re, ref_im = self._q15_fft(signal, [0] * self.N)
+        assert out_re == ref_re
+        assert out_im == ref_im
+
+    def test_close_to_float_dft(self):
+        signal, out_re, out_im = self._run_forward_only()
+        n = self.N
+        for k in range(n):
+            acc = sum(
+                signal[t] * complex(math.cos(2 * math.pi * k * t / n),
+                                    -math.sin(2 * math.pi * k * t / n))
+                for t in range(n)
+            ) / n
+            # per-stage rounding accumulates at most a few LSBs
+            assert abs(out_re[k] - acc.real) <= 8, f"bin {k} re"
+            assert abs(out_im[k] - acc.imag) <= 8, f"bin {k} im"
